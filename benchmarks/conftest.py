@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints
+its paper-shaped rendering (run pytest with ``-s`` to see them live;
+they are also written under ``benchmarks/results/``).
+
+Set ``REPRO_FULL=1`` for paper-scale parameters (full sweeps, 8192-op
+flood runs, all twelve Table 13 cells); the default is a reduced but
+shape-preserving configuration so the whole suite stays tractable.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """True when REPRO_FULL=1 requests paper-scale runs."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture
+def record_output(request):
+    """Write a rendered table/figure under benchmarks/results/."""
+
+    def write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return write

@@ -1,0 +1,177 @@
+"""Ablation benchmarks: the design choices DESIGN.md calls out.
+
+Each ablation flips one modelled mechanism and checks the paper-level
+consequence disappears (or appears), tying the reproduction's behaviour
+to its causes.
+"""
+
+import pytest
+
+from repro.bench.microbench import MicrobenchConfig, OdpSetup, run_microbench
+from repro.ib.device import get_device
+from repro.sim.timebase import MS
+
+RNR = round(1.28 * MS)
+
+
+def _dam(profile=None, device="ConnectX-4", interval_us=1000, num_ops=2):
+    return run_microbench(MicrobenchConfig(
+        num_ops=num_ops, odp=OdpSetup.BOTH, interval_us=interval_us,
+        min_rnr_timer_ns=RNR, device=device, profile=profile))
+
+
+class TestDammingFlawAblation:
+    def test_flaw_off_removes_the_plateau(self, benchmark, record_output):
+        def run():
+            flawed = _dam()
+            clean = _dam(profile=get_device("ConnectX-4").without_quirks())
+            return flawed, clean
+
+        flawed, clean = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_output(
+            "ablation_damming_flaw",
+            f"ConnectX-4 with flaw:    {flawed.execution_time_s:.3f} s "
+            f"({flawed.timeouts} timeouts)\n"
+            f"ConnectX-4 without flaw: {clean.execution_time_s:.3f} s "
+            f"({clean.timeouts} timeouts)")
+        assert flawed.timed_out and not clean.timed_out
+        assert flawed.execution_time_s > 50 * clean.execution_time_s
+
+    def test_connectx6_behaves_like_flawless(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: _dam(device="ConnectX-6"), rounds=1, iterations=1)
+        assert not result.timed_out
+
+
+class TestRnrDelayWorkaround:
+    def test_smaller_delay_narrows_the_window(self, benchmark,
+                                              record_output):
+        def run():
+            rows = []
+            for delay_ms in (0.01, 0.32, 1.28, 5.12):
+                r = run_microbench(MicrobenchConfig(
+                    num_ops=2, odp=OdpSetup.SERVER, interval_us=2500,
+                    min_rnr_timer_ns=round(delay_ms * MS)))
+                rows.append((delay_ms, r.timed_out))
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_output("ablation_rnr_delay",
+                      "\n".join(f"min RNR NAK delay {d} ms -> "
+                                f"{'TIMEOUT' if t else 'ok'} at 2.5 ms "
+                                "interval" for d, t in rows))
+        outcomes = dict(rows)
+        assert outcomes[0.01] is False     # window shrank below 2.5 ms
+        assert outcomes[1.28] is True      # 2.5 ms inside ~4.5 ms window
+        assert outcomes[5.12] is True      # even larger window
+
+
+class TestDummyCommunicationWorkaround:
+    def test_extra_operation_rescues(self, benchmark, record_output):
+        def run():
+            return (_dam(interval_us=3000, num_ops=2),
+                    _dam(interval_us=3000, num_ops=3))
+
+        without, with_dummy = benchmark.pedantic(run, rounds=1,
+                                                 iterations=1)
+        record_output(
+            "ablation_dummy_comm",
+            f"2 ops: {without.execution_time_s:.3f} s "
+            f"({without.timeouts} timeouts)\n"
+            f"3 ops: {with_dummy.execution_time_s:.3f} s "
+            f"({with_dummy.seq_naks} PSN-sequence NAKs)")
+        assert without.timed_out and not with_dummy.timed_out
+
+
+class TestFloodEngineAblation:
+    def test_quirkless_status_engine_removes_the_flood(self, benchmark,
+                                                       record_output):
+        config = dict(size=32, num_ops=512, num_qps=128,
+                      odp=OdpSetup.CLIENT, cack=18, min_rnr_timer_ns=RNR)
+
+        def run():
+            flooded = run_microbench(MicrobenchConfig(**config))
+            clean = run_microbench(MicrobenchConfig(
+                **config, profile=get_device("ConnectX-4").without_quirks()))
+            return flooded, clean
+
+        flooded, clean = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_output(
+            "ablation_flood_engine",
+            f"congested status engine: {flooded.execution_time_s * 1e3:.1f}"
+            f" ms, {flooded.total_packets} packets\n"
+            f"idealised status engine: {clean.execution_time_s * 1e3:.1f}"
+            f" ms, {clean.total_packets} packets")
+        assert flooded.execution_time_s > 10 * clean.execution_time_s
+        assert flooded.total_packets > 2 * clean.total_packets
+
+
+class TestPrefetchAblation:
+    def test_advise_mr_eliminates_common_case_faults(self, benchmark,
+                                                     record_output):
+        """Li et al. [20]: receiver-side prefetch works; our advise_mr
+        resolves translations ahead of traffic."""
+        from tests.helpers import make_connected_pair
+        from repro.ib.verbs.enums import OdpMode
+        from repro.ib.verbs.wr import RemoteAddr, Sge, WorkRequest
+
+        def run():
+            times = {}
+            for prefetch in (False, True):
+                cluster, client, server = make_connected_pair(
+                    server_odp=OdpMode.EXPLICIT, populate=False)
+                server.buf.write(0, b"d" * 256)
+                if prefetch:
+                    server.mr.advise()
+                    cluster.sim.run_until_idle()
+                t0 = cluster.sim.now
+                client.qp.post_send(WorkRequest.read(
+                    wr_id=1, local=Sge(client.mr, client.buf.addr(0), 256),
+                    remote=RemoteAddr(server.buf.addr(0), server.mr.rkey)))
+                cluster.sim.run_until_idle()
+                times[prefetch] = cluster.sim.now - t0
+            return times
+
+        times = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_output(
+            "ablation_prefetch",
+            f"first READ without prefetch: {times[False] / 1e6:.3f} ms\n"
+            f"first READ with ibv_advise_mr: {times[True] / 1e6:.3f} ms")
+        assert times[True] < times[False] / 20
+
+
+class TestRegistrationCost:
+    def test_pinned_vs_odp_registration(self, benchmark, record_output):
+        """Section VIII-A background: registration cost scales with the
+        page count for pinned memory; ODP registration is O(1)."""
+        from repro.host.cluster import build_pair
+        from repro.ib.verbs.enums import Access, OdpMode
+
+        def run():
+            rows = []
+            for pages in (16, 256, 4096):
+                cluster = build_pair()
+                node = cluster.nodes[0]
+                pd = node.open_device().alloc_pd()
+                region = node.mmap(pages * 4096)
+                t0 = cluster.sim.now
+                pd.reg_mr(region, Access.all(), odp=OdpMode.PINNED)
+                cluster.sim.run_until_idle()
+                pinned_ns = cluster.sim.now - t0
+                region2 = node.mmap(pages * 4096)
+                t0 = cluster.sim.now
+                pd.reg_mr(region2, Access.all(), odp=OdpMode.EXPLICIT)
+                cluster.sim.run_until_idle()
+                odp_ns = cluster.sim.now - t0
+                rows.append((pages, pinned_ns, odp_ns))
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_output(
+            "ablation_registration_cost",
+            "\n".join(f"{pages:5d} pages: pinned {pinned / 1e3:9.1f} us,"
+                      f" ODP {odp / 1e3:6.1f} us"
+                      for pages, pinned, odp in rows))
+        # pinned cost grows ~linearly; ODP stays flat
+        assert rows[2][1] > 100 * rows[0][1] * 0.5
+        assert rows[2][2] == rows[0][2]

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 1 (single-READ ODP workflows)."""
+
+from repro.bench.microbench import OdpSetup
+from repro.experiments.fig01_workflow import run_figure1, run_single_read
+
+
+def test_figure1(benchmark, record_output):
+    results = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    server, client = results
+    record_output("fig01_workflows",
+                  server.render() + "\n\n" + client.render())
+    # paper: RNR NAK then ~4.5 ms wait on the server side
+    assert server.rnr_naks >= 1
+    assert 3.0 < server.completion_ms < 7.0
+    # paper: blind ~0.5 ms retransmission, no RNR NAK, on the client side
+    assert client.rnr_naks == 0
+    assert client.blind_retransmits >= 1
+    assert client.completion_ms < 3.0
+
+
+def test_figure1_rnr_delay_knob(benchmark):
+    """The actual wait tracks the configured minimal RNR NAK delay."""
+
+    def run():
+        return (run_single_read(OdpSetup.SERVER, min_rnr_timer_ms=0.64),
+                run_single_read(OdpSetup.SERVER, min_rnr_timer_ms=2.56))
+
+    short, long = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert long.completion_ms > 1.5 * short.completion_ms

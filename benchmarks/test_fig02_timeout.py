@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Figure 2 (T_o vs C_ACK on all Table I systems)."""
+
+import pytest
+
+from benchmarks.conftest import full_scale
+from repro.experiments.fig02_timeout import run_figure2, theoretical_ttr_ms
+from repro.ib.device import TABLE1_SYSTEMS
+
+
+def test_figure2(benchmark, record_output):
+    cacks = list(range(1, 22)) if full_scale() \
+        else [1, 4, 8, 10, 12, 14, 16, 18, 20, 21]
+    result = benchmark.pedantic(run_figure2, kwargs={"cacks": cacks},
+                                rounds=1, iterations=1)
+    record_output("fig02_timeouts", result.render())
+
+    by_name = {c.system: c for c in result.curves}
+    assert len(result.curves) == len(TABLE1_SYSTEMS)
+
+    # the two floors of the paper: ~30 ms (CX-5) and ~500 ms (the rest)
+    cx5 = by_name["Azure VM HCr Series"]
+    assert 25 < cx5.floor_ms() < 40
+    for name, curve in by_name.items():
+        if name == "Azure VM HCr Series":
+            continue
+        assert 400 < curve.floor_ms() < 620, name
+
+    # every measurement respects the spec window [T_tr, 4 T_tr] for the
+    # *effective* (vendor-clamped) C_ACK
+    systems = {s.name: s for s in TABLE1_SYSTEMS}
+    for curve in result.curves:
+        device = systems[curve.system].device
+        for cack, t_o in curve.points.items():
+            effective = device.effective_cack(cack)
+            assert t_o >= theoretical_ttr_ms(effective) * 0.99
+            assert t_o <= 4 * theoretical_ttr_ms(effective) * 1.01
+
+    # "systems other than Azure VM HCr Series lie on almost the same line"
+    others = [c for n, c in by_name.items() if n != "Azure VM HCr Series"]
+    for cack in cacks:
+        values = [c.points[cack] for c in others]
+        assert max(values) / min(values) < 1.3

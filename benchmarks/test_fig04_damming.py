@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 4 (execution time vs interval)."""
+
+from benchmarks.conftest import full_scale
+from repro.experiments.fig04_damming import run_figure4
+
+
+def test_figure4(benchmark, record_output):
+    trials = 10 if full_scale() else 5
+    intervals = [0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0,
+                 3.5, 4.0, 4.5, 5.0, 5.5, 6.0] if full_scale() else \
+        [0.02, 0.1, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+    result = benchmark.pedantic(
+        run_figure4, kwargs={"intervals_ms": intervals, "trials": trials},
+        rounds=1, iterations=1)
+    record_output("fig04_damming_time", result.render())
+
+    by_interval = {p.interval_ms: p for p in result.points}
+    # the plateau: several hundred ms for ~0.1-4.5 ms intervals
+    assert by_interval[1.0].mean_exec_s > 0.4
+    assert by_interval[3.0].mean_exec_s > 0.4
+    # fast below and above the window
+    assert by_interval[0.02].mean_exec_s < 0.05
+    assert by_interval[6.0].mean_exec_s < 0.05
+    # the plateau height is the ~500 ms ConnectX-4 minimum timeout
+    plateau = [p.mean_exec_s for p in result.points
+               if 1.0 <= p.interval_ms <= 3.0]
+    assert all(0.4 < t < 0.7 for t in plateau)

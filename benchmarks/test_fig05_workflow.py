@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 5 (two-READ damming workflows)."""
+
+from repro.bench.microbench import OdpSetup
+from repro.experiments.fig05_workflow import run_figure5
+from repro.sim.timebase import MS
+
+
+def test_figure5_server_side(benchmark, record_output):
+    result = benchmark.pedantic(
+        run_figure5, kwargs={"setup": OdpSetup.SERVER, "interval_ms": 1.0},
+        rounds=1, iterations=1)
+    record_output("fig05_server_side", result.render())
+    assert result.damming.detected
+    assert result.damming.stall_ns > 300 * MS
+    assert result.flaw_drops >= 1
+    assert 0.4 < result.execution_ms / 1000 < 0.7
+
+
+def test_figure5_client_side(benchmark, record_output):
+    result = benchmark.pedantic(
+        run_figure5, kwargs={"setup": OdpSetup.CLIENT, "interval_ms": 0.3},
+        rounds=1, iterations=1)
+    record_output("fig05_client_side", result.render())
+    assert result.damming.detected
+    # client-side damming: the burst happens ~0.5 ms after the post
+    assert result.damming.stall_ns > 300 * MS

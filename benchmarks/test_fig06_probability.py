@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Figure 6 (timeout probability vs interval)."""
+
+from benchmarks.conftest import full_scale
+from repro.experiments.fig06_probability import run_figure6a, run_figure6b
+
+
+def test_figure6a_server_side(benchmark, record_output):
+    trials = 10 if full_scale() else 5
+    intervals = [0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 4.5, 5.0, 6.0] \
+        if full_scale() else [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+    result = benchmark.pedantic(
+        run_figure6a, kwargs={"intervals_ms": intervals, "trials": trials},
+        rounds=1, iterations=1)
+    record_output("fig06a_server_probability", result.render())
+
+    curves = {c.label: c for c in result.curves}
+    # 1.28 ms: timeouts up to ~4.5 ms (the actual RNR delay)
+    assert curves["1.28 ms"].points[3.0] >= 0.8
+    assert curves["1.28 ms"].points[6.0] <= 0.2
+    # 0.01 ms: the range collapses
+    assert curves["0.01 ms"].points[3.0] <= 0.2
+    # 10.24 ms: the whole plotted range times out
+    assert curves["10.24 ms"].points[6.0] >= 0.8
+    # the ranges order with the configured delay
+    assert (curves["0.01 ms"].range_end_ms()
+            < curves["1.28 ms"].range_end_ms()
+            <= curves["10.24 ms"].range_end_ms())
+
+
+def test_figure6b_client_side(benchmark, record_output):
+    trials = 10 if full_scale() else 5
+    result = benchmark.pedantic(
+        run_figure6b,
+        kwargs={"intervals_ms": [0.3, 0.5, 1.0, 2.0, 3.0, 4.5, 6.0],
+                "trials": trials},
+        rounds=1, iterations=1)
+    record_output("fig06b_client_probability", result.render())
+
+    curve = result.curves[0]
+    # timeouts up to ~0.5 ms, gone well before the server-side range
+    assert curve.points[0.3] >= 0.8
+    assert curve.points[0.5] >= 0.4
+    assert curve.points[3.0] == 0.0
+    assert curve.points[6.0] == 0.0

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 7 (2/3/4 operations narrow the range)."""
+
+from benchmarks.conftest import full_scale
+from repro.experiments.fig07_more_reads import run_figure7
+
+
+def test_figure7(benchmark, record_output):
+    trials = 10 if full_scale() else 5
+    intervals = [0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0] \
+        if full_scale() else [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0]
+    result = benchmark.pedantic(
+        run_figure7, kwargs={"intervals_ms": intervals, "trials": trials},
+        rounds=1, iterations=1)
+    record_output("fig07_more_reads", result.render())
+
+    r2 = result.range_end_ms(2)
+    r3 = result.range_end_ms(3)
+    r4 = result.range_end_ms(4)
+    # paper: ~4.5 / ~2.25 / ~1.5 ms — window / (n - 1)
+    assert r2 >= 4.0
+    assert 1.5 <= r3 <= 3.0
+    assert 1.0 <= r4 <= 2.0
+    assert r2 > r3 > r4
+    # small intervals still time out for every operation count
+    for n in (2, 3, 4):
+        assert result.probabilities[n][1.0] >= 0.8

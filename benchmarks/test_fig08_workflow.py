@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 8 (three READs, NAK(PSN) recovery)."""
+
+from repro.experiments.fig08_workflow import run_figure8
+
+
+def test_figure8(benchmark, record_output):
+    result = benchmark.pedantic(run_figure8, kwargs={"interval_ms": 3.0},
+                                rounds=1, iterations=1)
+    record_output("fig08_workflow", result.render())
+    # the dam breaks via the PSN-sequence NAK: no timeout, fast finish
+    assert result.seq_naks >= 1
+    assert result.timeouts == 0
+    assert result.execution_ms < 20
+    labels = [s.label for s in result.steps]
+    assert "NAK (PSN Sequence Error)" in labels
+    # retransmissions follow the NAK immediately
+    nak_at = next(s.time_ns for s in result.steps
+                  if s.label == "NAK (PSN Sequence Error)")
+    retx = [s for s in result.steps
+            if s.retransmission and s.time_ns > nak_at]
+    assert retx and retx[0].time_ns - nak_at < 1_000_000  # < 1 ms

@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Figure 9 (flood: exec time & packets vs #QPs).
+
+The full-scale run (REPRO_FULL=1) uses the paper's 8192 operations and
+sweeps to 200 QPs — expect several minutes of wall time for the flooded
+points; the default divides the operation count by 8, preserving every
+shape (baseline flat, degradation beyond ~10 QPs, packet explosion,
+server-side timeout-driven slowdown).
+"""
+
+from benchmarks.conftest import full_scale
+from repro.bench.microbench import OdpSetup
+from repro.experiments.fig09_flood import run_figure9
+
+
+def test_figure9(benchmark, record_output):
+    if full_scale():
+        kwargs = {"qps_values": [1, 5, 10, 25, 50, 100, 150, 200],
+                  "scale": 1}
+    else:
+        kwargs = {"qps_values": [1, 5, 10, 25, 50, 100], "scale": 8}
+    result = benchmark.pedantic(run_figure9, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    record_output("fig09_flood", result.render())
+
+    base = {p.num_qps: p for p in result.curves[OdpSetup.NONE]}
+    client = {p.num_qps: p for p in result.curves[OdpSetup.CLIENT]}
+    both = {p.num_qps: p for p in result.curves[OdpSetup.BOTH]}
+    server = {p.num_qps: p for p in result.curves[OdpSetup.SERVER]}
+    qps_max = max(base)
+
+    # the no-ODP baseline is flat and fast at every QP count
+    assert all(p.execution_s < 0.1 for p in base.values())
+
+    # "the ODP performance was generally normal" with one QP: inside
+    # the unavoidable-overhead band (200 faults x 0.25-1 ms)
+    assert 0.04 < client[1].execution_s < 0.5
+
+    # beyond ~10 QPs the degradation is drastic (paper: up to ~3000x);
+    # scaled runs flatten the ratio but the ordering must hold
+    factor = 20 if full_scale() else 4
+    client_worst = max(p.execution_s for p in client.values())
+    assert client_worst > factor * client[1].execution_s
+    assert result.degradation_factor() > 50
+
+    # packets grow enormously with client-side ODP (Figure 9b)
+    client_pkts = max(p.packets for p in client.values())
+    assert client_pkts > 10 * base[qps_max].packets
+
+    # both-side tracks client-side; server-side also degrades relative
+    # to the baseline (RNR waits + damming timeouts) but has no blind
+    # retransmission storm (the server is stateless)
+    both_worst = max(p.execution_s for p in both.values())
+    assert both_worst > 10 * base[qps_max].execution_s
+    assert server[qps_max].execution_s > 10 * base[qps_max].execution_s
+    assert server[qps_max].blind_retransmits == 0

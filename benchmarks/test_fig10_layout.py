@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 10 (memory layout of the flood buffer)."""
+
+from repro.experiments.fig10_layout import run_figure10
+
+
+def test_figure10(benchmark, record_output):
+    result = benchmark.pedantic(run_figure10, rounds=1, iterations=1)
+    record_output("fig10_layout", result.render())
+    # 128 QPs x 32 B fill one 4096 B page exactly
+    assert result.ops_per_page() == 128
+    pages = {page for _op, _qp, _off, page in result.rows}
+    assert pages == {0, 1, 2, 3}
+    # every page carries exactly one message of each QP
+    for page in pages:
+        qps = [qp for _op, qp, _off, p in result.rows if p == page]
+        assert sorted(qps) == list(range(128))

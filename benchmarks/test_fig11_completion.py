@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 11 (per-page completion timelines)."""
+
+from repro.experiments.fig11_completion import run_figure11
+
+
+def test_figure11a_128_operations(benchmark, record_output):
+    result = benchmark.pedantic(run_figure11, args=(128,),
+                                rounds=1, iterations=1)
+    record_output("fig11a_completion", result.render())
+    # completions begin around the page-fault resolution (~1 ms) ...
+    first = min(min(ts) for ts in result.completion_ms_by_page.values())
+    assert 0.3 < first < 2.5
+    # ... but stragglers persist for several more milliseconds
+    assert 2.5 < result.last_op_completion_ms < 20
+    # the *first* operations finish *last* (LIFO status updates)
+    assert result.early_ops_finish_last
+    assert result.first_op_completion_ms > result.last_op_completion_ms * 0.7
+
+
+def test_figure11b_512_operations(benchmark, record_output):
+    result = benchmark.pedantic(run_figure11, args=(512,),
+                                rounds=1, iterations=1)
+    record_output("fig11b_completion", result.render())
+    # four pages, completed page-onset in order
+    assert sorted(result.completion_ms_by_page) == [0, 1, 2, 3]
+    onsets = [min(result.completion_ms_by_page[p]) for p in range(4)]
+    assert onsets == sorted(onsets)
+    # the stall reaches hundreds of milliseconds (paper: ~800 ms)
+    last = max(max(ts) for ts in result.completion_ms_by_page.values())
+    assert 50 < last < 1500
+    # all 512 operations do finish
+    total = sum(len(ts) for ts in result.completion_ms_by_page.values())
+    assert total == 512

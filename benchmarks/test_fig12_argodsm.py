@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 12 (ArgoDSM init/finalize histograms)."""
+
+import pytest
+
+from benchmarks.conftest import full_scale
+from repro.apps.argodsm.benchmark import ARGO_SYSTEMS
+from repro.experiments.fig12_argodsm import run_figure12
+
+
+@pytest.mark.parametrize("system", list(ARGO_SYSTEMS))
+def test_figure12(system, benchmark, record_output):
+    trials = 100 if full_scale() else 40
+    result = benchmark.pedantic(
+        run_figure12, kwargs={"system": system, "trials": trials},
+        rounds=1, iterations=1)
+    slug = system.split(" ")[0].lower()
+    record_output(f"fig12_{slug}", result.render())
+
+    preset = ARGO_SYSTEMS[system]
+    # without ODP: tight cluster around the paper's baseline
+    assert result.without_odp.average_s == pytest.approx(
+        preset.paper_without_odp_s, rel=0.10)
+    assert result.without_odp.damming_fraction == 0.0
+    # with ODP: slower on average and bimodal
+    assert result.with_odp.average_s > result.without_odp.average_s + 0.15
+    assert 0.05 < result.with_odp.damming_fraction < 0.9
+    assert result.bimodal
+    # the measured average lands near the paper's
+    assert result.with_odp.average_s == pytest.approx(
+        preset.paper_with_odp_s, rel=0.25)

@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Table 13 (SparkUCX with/without ODP).
+
+Default: one representative cell per behaviour class (severe flood,
+moderate flood, immune system) to stay tractable; REPRO_FULL=1 runs all
+twelve cells.
+"""
+
+import pytest
+
+from benchmarks.conftest import full_scale
+from repro.apps.spark.workloads import SPARK_CELLS, get_cell
+from repro.experiments.tab13_spark import run_table13
+
+
+def _selected_cells():
+    if full_scale():
+        return SPARK_CELLS
+    return [
+        get_cell("SparkTC", "KNL (2)"),            # moderate (1.56x)
+        get_cell("SparkTC", "Reedbush-H (2)"),     # severe (6.45x)
+        get_cell("SparkTC", "ABCI (2)"),           # immune (1.01x)
+        get_cell("mllib.RankingMetricsExample", "ABCI (4)"),  # 2.37x
+    ]
+
+
+def test_table13(benchmark, record_output):
+    cells = _selected_cells()
+    result = benchmark.pedantic(run_table13, kwargs={"cells": cells},
+                                rounds=1, iterations=1)
+    record_output("tab13_spark", result.render())
+
+    by_key = {(r.cell.workload, r.cell.system): r for r in result.results}
+
+    # every cell: enabling ODP never helps
+    for r in result.results:
+        assert r.enable_s >= r.disable_s * 0.95
+        # the simulated baseline tracks the paper's scaled baseline
+        assert r.disable_s == pytest.approx(r.scaled_paper_disable_s,
+                                            rel=0.2)
+
+    severe = by_key[("SparkTC", "Reedbush-H (2)")]
+    immune = by_key[("SparkTC", "ABCI (2)")]
+    moderate = by_key[("SparkTC", "KNL (2)")]
+    # who wins and by roughly what factor
+    assert severe.ratio > 3.0
+    assert immune.ratio < 1.25
+    assert 1.2 < moderate.ratio < 2.5
+    assert severe.ratio > moderate.ratio > immune.ratio
+    # the headline: degradation up to ~6.5x
+    assert result.worst_ratio() > 3.0
+    # flood means more packets with ODP than without
+    assert severe.enable_packets > 1.5 * severe.disable_packets

@@ -1,0 +1,20 @@
+"""Benchmark: render Tables I and II (static inventory)."""
+
+from repro.experiments.tables import render_table1, render_table2
+from repro.ib.device import TABLE1_SYSTEMS
+
+
+def test_table1(benchmark, record_output):
+    text = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    record_output("table1_systems", text)
+    assert len(TABLE1_SYSTEMS) == 8
+    for system in TABLE1_SYSTEMS:
+        assert system.name in text
+        assert system.psid in text
+
+
+def test_table2(benchmark, record_output):
+    text = benchmark.pedantic(render_table2, rounds=1, iterations=1)
+    record_output("table2_hosts", text)
+    for fragment in ("KNL", "Reedbush-H", "ABCI", "272", "36", "80"):
+        assert fragment in text

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's reverse-engineering figures (1, 5 and 8) as
+ibdump-style packet traces.
+
+Run:  python examples/capture_workflows.py
+"""
+
+from repro.bench.microbench import OdpSetup
+from repro.experiments.fig01_workflow import run_figure1
+from repro.experiments.fig05_workflow import run_figure5
+from repro.experiments.fig08_workflow import run_figure8
+
+
+def main() -> None:
+    print("#" * 72)
+    print("# Figure 1: single READ under ODP")
+    print("#" * 72)
+    for result in run_figure1():
+        print(result.render())
+        print()
+
+    print("#" * 72)
+    print("# Figure 5: two READs -> packet damming")
+    print("#" * 72)
+    print(run_figure5(OdpSetup.SERVER, interval_ms=1.0).render())
+    print()
+    print(run_figure5(OdpSetup.CLIENT, interval_ms=0.3).render())
+    print()
+
+    print("#" * 72)
+    print("# Figure 8: three READs -> NAK (PSN sequence error) recovery")
+    print("#" * 72)
+    print(run_figure8(interval_ms=3.0).render())
+
+
+if __name__ == "__main__":
+    main()

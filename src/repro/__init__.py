@@ -1,0 +1,33 @@
+"""repro — a simulation-based reproduction of ISPASS 2021's
+"Pitfalls of InfiniBand with On-Demand Paging".
+
+The package implements, in pure Python, a discrete-event simulator of the
+InfiniBand Reliable Connection (RC) transport together with the hardware
+On-Demand Paging (ODP) machinery that the paper reverse-engineered on
+Mellanox ConnectX RNICs.  On top of that substrate it provides:
+
+* an ibverbs-like API (contexts, protection domains, memory regions,
+  queue pairs, completion queues) in :mod:`repro.ib.verbs`,
+* device models of the ConnectX-3/4/5/6 generations including their
+  documented quirks (:mod:`repro.ib.device`),
+* an ``ibdump``-equivalent packet capture facility (:mod:`repro.capture`),
+* a UCX-like middleware layer (:mod:`repro.ucx`),
+* miniature ArgoDSM and Spark-shuffle applications (:mod:`repro.apps`),
+* experiment runners regenerating every table and figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.host import build_pair
+    from repro.ib.verbs import OdpMode
+
+    pair = build_pair(device="ConnectX-4")
+    # ... create QPs, post READs, run the simulator; see examples/.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.timebase import NS, US, MS, SEC
+
+__version__ = "1.0.0"
+
+__all__ = ["Simulator", "NS", "US", "MS", "SEC", "__version__"]

@@ -1,0 +1,3 @@
+"""Miniature application substrates used by Section VII's experiments:
+an ArgoDSM-like distributed shared memory and a Spark-like shuffle
+engine, both running over the UCX-like middleware."""

@@ -1,0 +1,30 @@
+"""A miniature ArgoDSM: home-node page-based software DSM over RDMA.
+
+ArgoDSM [22] maintains cache coherency with a home-node directory and
+performs every operation with RDMA (no message handlers); it favours
+self-invalidation on synchronisation points.  This miniature keeps that
+architecture: pages are block-cyclically homed across nodes, remote
+pages are fetched with RMA get and written through with RMA put, and
+``acquire``/``release`` implement a data-race-free coherence contract by
+self-invalidating the local page cache.
+
+The paper's Figure 12 experiment only exercises ``argo::init()`` /
+``argo::finalize()``; their global-lock ceremony (a READ followed
+shortly by a SEND on the same QP) is precisely the packet-damming
+pattern of Section V.
+"""
+
+from repro.apps.argodsm.dsm import ArgoCluster, ArgoNode
+from repro.apps.argodsm.benchmark import (
+    ARGO_SYSTEMS,
+    ArgoSystemPreset,
+    run_init_finalize_trials,
+)
+
+__all__ = [
+    "ArgoCluster",
+    "ArgoNode",
+    "ARGO_SYSTEMS",
+    "ArgoSystemPreset",
+    "run_init_finalize_trials",
+]

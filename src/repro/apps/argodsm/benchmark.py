@@ -1,0 +1,144 @@
+"""The Figure 12 benchmark: ``argo::init() + argo::finalize()`` trials.
+
+The paper ran 100 trials of a benchmark containing only initialisation
+(10 MB) and finalisation, with ODP disabled/enabled, on KNL and
+Reedbush-H.  With ODP the samples split into two groups; ibdump showed
+the slow group suffered packet damming on the READ+SEND global-lock
+sequence.
+
+Per-system presets capture what the simulator cannot derive: the
+host-side setup time (the without-ODP average) and the distribution of
+the software delay between the lock READ and the notification SEND —
+the paper stresses that the pitfalls "are highly affected by the timing
+of communication operations", and these delays are exactly that fitted
+timing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.argodsm.dsm import ArgoCluster
+from repro.sim.process import Process
+from repro.sim.timebase import MS, SEC, ns_to_s
+
+#: 10 MB, as passed to ``argo::init`` in the paper.
+DEFAULT_INIT_BYTES = 10 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ArgoSystemPreset:
+    """Timing description of one of the paper's Figure 12 systems."""
+
+    name: str
+    device: str
+    #: host-side init work (matches the paper's without-ODP average)
+    init_base_ns: int
+    #: uniform range of the READ->SEND software delay in the lock path
+    lock_delay_range_ns: Tuple[int, int]
+    #: paper's measured averages, for reporting
+    paper_without_odp_s: float
+    paper_with_odp_s: float
+
+
+ARGO_SYSTEMS: Dict[str, ArgoSystemPreset] = {
+    "KNL (2 nodes)": ArgoSystemPreset(
+        name="KNL (2 nodes)",
+        device="ConnectX-4",
+        init_base_ns=round(2.26 * SEC),
+        lock_delay_range_ns=(round(0.5 * MS), round(7.4 * MS)),
+        paper_without_odp_s=2.28,
+        paper_with_odp_s=3.12,
+    ),
+    "Reedbush-H (2 nodes)": ArgoSystemPreset(
+        name="Reedbush-H (2 nodes)",
+        device="ConnectX-4",
+        init_base_ns=round(0.49 * SEC),
+        lock_delay_range_ns=(round(0.3 * MS), round(15.0 * MS)),
+        paper_without_odp_s=0.50,
+        paper_with_odp_s=0.92,
+    ),
+}
+
+
+@dataclass
+class ArgoTrialResult:
+    """One init+finalize trial."""
+
+    execution_time_s: float
+    timeouts: int
+    dammed: bool
+
+
+@dataclass
+class ArgoBenchResult:
+    """All trials for one (system, ODP) configuration."""
+
+    system: str
+    odp_enabled: bool
+    trials: List[ArgoTrialResult] = field(default_factory=list)
+
+    @property
+    def times(self) -> List[float]:
+        """Execution times in seconds."""
+        return [t.execution_time_s for t in self.trials]
+
+    @property
+    def average_s(self) -> float:
+        """Mean execution time."""
+        return sum(self.times) / len(self.times) if self.trials else 0.0
+
+    @property
+    def damming_fraction(self) -> float:
+        """Fraction of trials that hit a transport timeout."""
+        if not self.trials:
+            return 0.0
+        return sum(1 for t in self.trials if t.dammed) / len(self.trials)
+
+
+def run_one_trial(preset: ArgoSystemPreset, odp_enabled: bool,
+                  seed: int, init_bytes: int = DEFAULT_INIT_BYTES,
+                  ) -> ArgoTrialResult:
+    """One init+finalize execution on a fresh simulated cluster."""
+    env = {"UCX_IB_PREFER_ODP": "y" if odp_enabled else "n"}
+    cluster = ArgoCluster(ranks=2, device=preset.device, env=env, seed=seed)
+    sim = cluster.sim
+    rng = random.Random(seed * 7919 + 13)
+    lo, hi = preset.lock_delay_range_ns
+    lock_delay = rng.randint(lo, hi)
+    base = sim.jitter(preset.init_base_ns, 0.02)
+
+    def trial():
+        yield from cluster.init_process(init_bytes, init_base_ns=base,
+                                        lock_delay_ns=lock_delay)
+        yield from cluster.finalize_process(finalize_base_ns=base // 100)
+
+    start = sim.now
+    proc = Process(sim, trial(), name="argo-trial")
+    sim.run_until_idle()
+    _ = proc.result
+    elapsed = sim.now - start
+    timeouts = sum(ep.qp.requester.timeouts
+                   for rank in cluster.ranks
+                   for ep in rank.ucx.endpoints)
+    return ArgoTrialResult(
+        execution_time_s=ns_to_s(elapsed),
+        timeouts=timeouts,
+        dammed=timeouts > 0,
+    )
+
+
+def run_init_finalize_trials(system: str, odp_enabled: bool,
+                             trials: int = 100, seed: int = 0,
+                             init_bytes: int = DEFAULT_INIT_BYTES,
+                             ) -> ArgoBenchResult:
+    """The Figure 12 experiment for one configuration."""
+    preset = ARGO_SYSTEMS[system]
+    result = ArgoBenchResult(system=system, odp_enabled=odp_enabled)
+    for trial in range(trials):
+        result.trials.append(run_one_trial(preset, odp_enabled,
+                                           seed=seed * 100_003 + trial,
+                                           init_bytes=init_bytes))
+    return result

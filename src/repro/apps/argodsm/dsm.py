@@ -1,0 +1,320 @@
+"""The miniature ArgoDSM implementation."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.host.cluster import Cluster
+from repro.host.memory import PAGE_SIZE, Region
+from repro.sim.future import Future, all_of
+from repro.sim.process import Process
+from repro.ucx.config import UcxConfig
+from repro.ucx.context import UcxContext, connect_endpoints
+from repro.ucx.endpoint import UcxEndpoint, UcxMemory
+
+#: bytes reserved at the start of rank 0's backing for global control
+#: state (global lock word + barrier scratch)
+CONTROL_BYTES = 64
+LOCK_OFFSET = 0
+
+
+class ArgoError(RuntimeError):
+    """DSM misuse (init ordering, bounds, ...)."""
+
+
+class ArgoNode:
+    """Per-rank DSM state."""
+
+    def __init__(self, cluster: "ArgoCluster", rank: int, env: Dict[str, str]):
+        self.cluster = cluster
+        self.rank = rank
+        self.node = cluster.fabric.nodes[rank]
+        self.ucx = UcxContext(self.node, UcxConfig.from_env(env))
+        self.endpoints: Dict[int, UcxEndpoint] = {}
+        self.backing: Optional[UcxMemory] = None
+        self.scratch: Optional[UcxMemory] = None
+        self.remote_backing: Dict[int, Tuple[int, int]] = {}  # rank -> (addr, rkey)
+        self.page_cache: Dict[int, bytes] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    #: scratch layout: [0, 64) atomics, [128, 192) rkey recv,
+    #: [256, 320) lock messages, [512, 528) barrier, [1024, 2048) put
+    #: staging, [4096, 8192) page fetch buffer
+    SCRATCH_BYTES = 2 * PAGE_SIZE
+    STAGING_OFFSET = 1024
+    STAGING_BYTES = 1024
+    FETCH_OFFSET = PAGE_SIZE
+
+    def allocate(self, backing_bytes: int) -> None:
+        """Allocate and register this rank's share of global memory."""
+        backing_region = self.node.mmap(max(backing_bytes, PAGE_SIZE))
+        self.backing = self.ucx.mem_map(backing_region)
+        scratch_region = self.node.mmap(self.SCRATCH_BYTES)
+        scratch_region.fill(0)
+        self.scratch = self.ucx.mem_map(scratch_region)
+
+    def self_invalidate(self) -> None:
+        """Drop all cached remote pages (acquire semantics)."""
+        self.page_cache.clear()
+
+
+class ArgoCluster:
+    """An N-rank DSM instance over the simulated fabric."""
+
+    def __init__(self, ranks: int = 2, device: str = "ConnectX-4",
+                 env: Optional[Dict[str, str]] = None, seed: int = 0):
+        self.fabric = Cluster(device=device, nodes=ranks, seed=seed)
+        self.sim = self.fabric.sim
+        self.env = dict(env or {})
+        self.ranks = [ArgoNode(self, rank, self.env) for rank in range(ranks)]
+        self.size = 0
+        self.initialized = False
+        # full mesh of endpoints, one QP per ordered pair
+        for a in self.ranks:
+            for b in self.ranks:
+                if a.rank < b.rank:
+                    ep_a = a.ucx.create_endpoint()
+                    ep_b = b.ucx.create_endpoint()
+                    connect_endpoints(ep_a, ep_b)
+                    a.endpoints[b.rank] = ep_a
+                    b.endpoints[a.rank] = ep_b
+
+    # ------------------------------------------------------------------
+    # Address arithmetic (block-cyclic page homing)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_ranks(self) -> int:
+        """Number of DSM ranks."""
+        return len(self.ranks)
+
+    def home_of_page(self, page: int) -> int:
+        """Home rank of a global page."""
+        return page % self.num_ranks
+
+    def backing_offset(self, page: int) -> int:
+        """Offset of a global page inside its home's backing region,
+        shifted past the control words on rank 0."""
+        return CONTROL_BYTES + (page // self.num_ranks) * PAGE_SIZE
+
+    def backing_bytes_for(self, rank: int) -> int:
+        """Backing bytes rank must provide for the current size."""
+        pages = (self.size + PAGE_SIZE - 1) // PAGE_SIZE
+        owned = (pages - rank + self.num_ranks - 1) // self.num_ranks
+        return CONTROL_BYTES + owned * PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    # Initialisation (the Figure 12 code path)
+    # ------------------------------------------------------------------
+
+    def init_process(self, size: int, init_base_ns: int = 0,
+                     lock_delay_ns: int = 500_000) -> Generator[Any, Any, None]:
+        """``argo::init(size)`` as a simulation process.
+
+        The sequence mirrors what the paper reverse-engineered: after
+        allocation and rkey exchange, a non-zero rank takes the global
+        lock by READing the lock word on rank 0 and then SENDs a
+        notification on the same QP ``lock_delay_ns`` later — under ODP
+        the READ faults on first touch and the SEND lands in its pending
+        window, which is exactly the packet-damming recipe.
+        """
+        self.size = size
+        # host-side setup work (directory structures, zeroing, ...)
+        if init_base_ns:
+            yield init_base_ns // 2
+        for rank in self.ranks:
+            rank.allocate(self.backing_bytes_for(rank.rank))
+        yield all_of([r.backing.mr.ready for r in self.ranks])
+        yield all_of([r.scratch.mr.ready for r in self.ranks])
+
+        # rkey exchange over two-sided messaging (every ordered pair)
+        yield from self._exchange_rkeys()
+
+        # global lock ceremony: rank 1 (or 0 alone) takes the lock
+        if self.num_ranks > 1:
+            yield from self._lock_ceremony(lock_delay_ns)
+
+        # first-touch of each rank's first own page (directory headers)
+        for rank in self.ranks:
+            rank.backing.region.write(CONTROL_BYTES, b"\0" * 64)
+
+        yield from self._barrier()
+        if init_base_ns:
+            yield init_base_ns - init_base_ns // 2
+        self.initialized = True
+
+    def _exchange_rkeys(self) -> Generator[Any, Any, None]:
+        futures: List[Future] = []
+        for a in self.ranks:
+            for _peer, ep in a.endpoints.items():
+                # pre-post a recv for the peer's rkey message
+                futures.append(ep.recv(a.scratch, 128, 64))
+        for a in self.ranks:
+            payload = (a.backing.addr(0).to_bytes(8, "little")
+                       + a.backing.rkey.to_bytes(8, "little"))
+            for peer, ep in a.endpoints.items():
+                futures.append(ep.send_inline(payload))
+        yield all_of(futures)
+        # out-of-band bookkeeping of what the messages carried
+        for a in self.ranks:
+            for b in self.ranks:
+                if a.rank != b.rank:
+                    a.remote_backing[b.rank] = (b.backing.addr(0),
+                                                b.backing.rkey)
+
+    def _lock_ceremony(self, lock_delay_ns: int) -> Generator[Any, Any, None]:
+        locker = self.ranks[1]
+        home = self.ranks[0]
+        ep = locker.endpoints[0]
+        home_ep = home.endpoints[1]
+        recv_future = home_ep.recv(home.scratch, 256, 64)
+        lock_addr, rkey = locker.remote_backing[0]
+        read_future = ep.get(locker.scratch, 0, 8,
+                             lock_addr + LOCK_OFFSET, rkey)
+        if lock_delay_ns:
+            yield lock_delay_ns
+        send_future = ep.send_inline(b"LOCKTAKEN")
+        yield all_of([read_future, send_future, recv_future])
+
+    def _barrier(self) -> Generator[Any, Any, None]:
+        """Dissemination-free ring barrier (fine at this scale)."""
+        futures: List[Future] = []
+        for a in self.ranks:
+            for peer, ep in a.endpoints.items():
+                futures.append(ep.recv(a.scratch, 512, 16))
+        for a in self.ranks:
+            for peer, ep in a.endpoints.items():
+                futures.append(ep.send_inline(b"BARRIER"))
+        yield all_of(futures)
+
+    def finalize_process(self, finalize_base_ns: int = 0) -> Generator[Any, Any, None]:
+        """``argo::finalize()``: release the lock, barrier, tear down."""
+        if finalize_base_ns:
+            yield finalize_base_ns
+        if self.num_ranks > 1:
+            locker = self.ranks[1]
+            ep = locker.endpoints[0]
+            home_ep = self.ranks[0].endpoints[1]
+            recv_future = home_ep.recv(self.ranks[0].scratch, 256, 64)
+            lock_addr, rkey = locker.remote_backing[0]
+            locker.scratch.region.write(16, (0).to_bytes(8, "little"))
+            put_future = ep.put(locker.scratch, 16, 8,
+                                lock_addr + LOCK_OFFSET, rkey)
+            send_future = ep.send_inline(b"LOCKFREE")
+            yield all_of([put_future, send_future, recv_future])
+        yield from self._barrier()
+        self.initialized = False
+
+    # ------------------------------------------------------------------
+    # Data-plane API (read/write/synchronise) for applications
+    # ------------------------------------------------------------------
+
+    def write_bytes(self, rank: int, offset: int,
+                    data: bytes) -> Generator[Any, Any, None]:
+        """Write-through store into global memory from ``rank``.
+
+        Remote chunks go through the staging buffer one at a time
+        (write-combining would reuse it before the RMA reads it
+        otherwise).
+        """
+        self._check_bounds(offset, len(data))
+        me = self.ranks[rank]
+        cursor = 0
+        while cursor < len(data):
+            page = (offset + cursor) // PAGE_SIZE
+            page_off = (offset + cursor) % PAGE_SIZE
+            chunk = min(len(data) - cursor, PAGE_SIZE - page_off,
+                        ArgoNode.STAGING_BYTES)
+            home = self.home_of_page(page)
+            back_off = self.backing_offset(page) + page_off
+            piece = data[cursor:cursor + chunk]
+            if home == rank:
+                me.backing.region.write(back_off, piece)
+            else:
+                me.scratch.region.write(ArgoNode.STAGING_OFFSET, piece)
+                addr, rkey = me.remote_backing[home]
+                yield me.endpoints[home].put(
+                    me.scratch, ArgoNode.STAGING_OFFSET, chunk,
+                    addr + back_off, rkey)
+                me.page_cache.pop(page, None)
+            cursor += chunk
+
+    def read_bytes(self, rank: int, offset: int,
+                   size: int) -> Generator[Any, Any, bytes]:
+        """Load from global memory at ``rank`` (page-granular caching)."""
+        self._check_bounds(offset, size)
+        me = self.ranks[rank]
+        out = bytearray()
+        cursor = 0
+        while cursor < size:
+            page = (offset + cursor) // PAGE_SIZE
+            page_off = (offset + cursor) % PAGE_SIZE
+            chunk = min(size - cursor, PAGE_SIZE - page_off)
+            home = self.home_of_page(page)
+            back_off = self.backing_offset(page)
+            if home == rank:
+                out += me.backing.region.read(back_off + page_off, chunk)
+            else:
+                cached = me.page_cache.get(page)
+                if cached is None:
+                    me.cache_misses += 1
+                    addr, rkey = me.remote_backing[home]
+                    yield me.endpoints[home].get(
+                        me.scratch, ArgoNode.FETCH_OFFSET, PAGE_SIZE,
+                        addr + back_off, rkey)
+                    cached = me.scratch.region.read(ArgoNode.FETCH_OFFSET,
+                                                    PAGE_SIZE)
+                    me.page_cache[page] = cached
+                else:
+                    me.cache_hits += 1
+                out += cached[page_off:page_off + chunk]
+            cursor += chunk
+        return bytes(out)
+
+    def acquire(self, rank: int) -> None:
+        """Acquire synchronisation: self-invalidate cached pages."""
+        self.ranks[rank].self_invalidate()
+
+    def lock(self, rank: int) -> Generator[Any, Any, None]:
+        """Take the global lock via atomic compare-and-swap spinning."""
+        me = self.ranks[rank]
+        if rank == 0:
+            # home rank spins locally on its own backing word
+            while True:
+                word = me.backing.region.read(LOCK_OFFSET, 8)
+                if int.from_bytes(word, "little") == 0:
+                    me.backing.region.write(LOCK_OFFSET,
+                                            (rank + 1).to_bytes(8, "little"))
+                    return
+                yield 1_000
+        addr, rkey = me.remote_backing[0]
+        while True:
+            future = me.endpoints[0].compare_swap(
+                me.scratch, 8, addr + LOCK_OFFSET, rkey,
+                compare=0, swap=rank + 1)
+            yield future
+            old = int.from_bytes(me.scratch.region.read(8, 8), "little")
+            if old == 0:
+                self.acquire(rank)
+                return
+            yield 5_000  # back off before retrying
+
+    def unlock(self, rank: int) -> Generator[Any, Any, None]:
+        """Release the global lock."""
+        me = self.ranks[rank]
+        if rank == 0:
+            me.backing.region.write(LOCK_OFFSET, (0).to_bytes(8, "little"))
+            return
+        addr, rkey = me.remote_backing[0]
+        me.scratch.region.write(24, (0).to_bytes(8, "little"))
+        future = me.endpoints[0].put(me.scratch, 24, 8,
+                                     addr + LOCK_OFFSET, rkey)
+        yield future
+
+    def _check_bounds(self, offset: int, size: int) -> None:
+        if not self.initialized:
+            raise ArgoError("DSM not initialized")
+        if offset < 0 or offset + size > self.size:
+            raise ArgoError(f"access [{offset}, {offset + size}) outside "
+                            f"global memory of {self.size} bytes")

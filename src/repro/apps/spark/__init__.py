@@ -1,0 +1,34 @@
+"""A miniature SparkUCX: shuffle-stage data movement over RDMA READ.
+
+SparkUCX [21] accelerates Spark shuffles by fetching shuffle blocks
+with RDMA through UCX.  What matters for the paper's Table 13 is the
+traffic shape: several hundred to several thousand QPs, join-triggered
+waves of READs, and first-touch destination buffers — with UCX's
+ODP-preferred registration this produces simultaneous page faults on
+many QPs, i.e. packet flood.
+
+``engine`` implements the cluster/stage machinery; ``workloads`` holds
+the three example programs (SparkTC, mllib.RecommendationExample,
+mllib.RankingMetricsExample) and the per-system presets; ``benchmark``
+regenerates Table 13.
+"""
+
+from repro.apps.spark.engine import ShuffleRound, SparkCluster
+from repro.apps.spark.workloads import (
+    SPARK_CELLS,
+    SparkCell,
+    Workload,
+    WORKLOADS,
+)
+from repro.apps.spark.benchmark import run_spark_cell, SparkCellResult
+
+__all__ = [
+    "SparkCluster",
+    "ShuffleRound",
+    "SPARK_CELLS",
+    "SparkCell",
+    "Workload",
+    "WORKLOADS",
+    "run_spark_cell",
+    "SparkCellResult",
+]

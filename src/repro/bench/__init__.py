@@ -1,0 +1,18 @@
+"""Benchmark building blocks: the paper's micro-benchmark (Figure 3) and
+reusable measurement utilities."""
+
+from repro.bench.microbench import (
+    MicrobenchConfig,
+    MicrobenchResult,
+    OdpSetup,
+    page_of_op,
+    run_microbench,
+)
+
+__all__ = [
+    "MicrobenchConfig",
+    "MicrobenchResult",
+    "OdpSetup",
+    "page_of_op",
+    "run_microbench",
+]

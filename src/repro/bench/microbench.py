@@ -1,0 +1,241 @@
+"""The paper's micro-benchmark (Figure 3) as a simulator workload.
+
+Simplified C shape from the paper::
+
+    init(local_buf, remote_buf, QP[num_QPs], ...);
+    for (i = 0; i < num_ops; i++) {
+        local  = &local_buf[size * i];
+        remote = &remote_buf[size * i];
+        QP     = QPs[i % num_QPs];
+        post_rdma_read(local, remote, QP, size);
+        usleep(interval);
+    }
+    wait();
+
+Knobs: ``size`` (message size), ``num_ops``, ``num_qps``,
+``interval_us``, which sides enable ODP, the minimal RNR NAK delay and
+``C_ACK``.  The communication buffers are 4096-byte aligned, as in the
+paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.host.cluster import build_pair
+from repro.host.memory import PAGE_SIZE
+from repro.ib.device import DeviceProfile
+from repro.ib.verbs.enums import Access, OdpMode, WcStatus
+from repro.ib.verbs.qp import QpAttrs
+from repro.ib.verbs.wr import RemoteAddr, Sge, WorkRequest
+from repro.sim.future import all_of
+from repro.sim.process import Process
+from repro.sim.timebase import MS, US
+
+
+class OdpSetup(enum.Enum):
+    """Which side(s) take network page faults (Section IV-A terms)."""
+
+    NONE = "none"          # pinned memory on both sides
+    SERVER = "server"      # server-side ODP
+    CLIENT = "client"      # client-side ODP
+    BOTH = "both"          # both-side ODP
+
+    @property
+    def client_odp(self) -> bool:
+        """Client buffer is ODP-backed."""
+        return self in (OdpSetup.CLIENT, OdpSetup.BOTH)
+
+    @property
+    def server_odp(self) -> bool:
+        """Server buffer is ODP-backed."""
+        return self in (OdpSetup.SERVER, OdpSetup.BOTH)
+
+
+def page_of_op(op_index: int, size: int) -> int:
+    """Figure 10's memory layout: which buffer page op ``i`` touches."""
+    return (size * op_index) // PAGE_SIZE
+
+
+@dataclass
+class MicrobenchConfig:
+    """All knobs of the Figure 3 benchmark."""
+
+    size: int = 100
+    num_ops: int = 2
+    num_qps: int = 1
+    interval_us: float = 0.0
+    odp: OdpSetup = OdpSetup.BOTH
+    min_rnr_timer_ns: int = round(1.28 * MS)
+    cack: int = 1
+    retry_count: int = 7
+    device: str = "ConnectX-4"
+    profile: Optional[DeviceProfile] = None
+    seed: int = 0
+    #: data byte written at the start of each server-side message
+    fill_server_data: bool = True
+    #: CPU cost of one ``ibv_post_send`` call; even with interval=0 the
+    #: posting loop spaces operations by this much, which determines how
+    #: far apart two posts to the *same* QP land when many QPs are used.
+    post_overhead_ns: int = 300
+
+    @property
+    def interval_ns(self) -> int:
+        """Interval between posts in ns."""
+        return round(self.interval_us * US)
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Per-side communication buffer size."""
+        return max(self.size * self.num_ops, PAGE_SIZE)
+
+    @property
+    def pages_involved(self) -> int:
+        """Number of buffer pages the operations touch."""
+        return page_of_op(self.num_ops - 1, self.size) + 1
+
+
+@dataclass
+class MicrobenchResult:
+    """Everything the paper's figures need from one run."""
+
+    config: MicrobenchConfig
+    execution_time_ns: int
+    completions: List[Tuple[int, int, WcStatus]]  # (wr_id, time_ns, status)
+    total_packets: int
+    timeouts: int
+    rnr_naks: int
+    seq_naks: int
+    flaw_drops: int
+    responses_discarded_odp: int
+    responses_discarded_rnr: int
+    blind_retransmit_rounds: int
+    client_page_faults: int
+    server_page_faults: int
+    errors: int
+
+    @property
+    def execution_time_s(self) -> float:
+        """Execution time in seconds (the unit of Figures 4 and 9a)."""
+        return self.execution_time_ns / 1e9
+
+    @property
+    def timed_out(self) -> bool:
+        """True when at least one transport timeout fired (Figures 6/7)."""
+        return self.timeouts > 0
+
+    def completion_times_by_page(self) -> Dict[int, List[int]]:
+        """Completion timestamps grouped by buffer page (Figure 11)."""
+        grouped: Dict[int, List[int]] = {}
+        for wr_id, time_ns, status in self.completions:
+            if status is not WcStatus.SUCCESS:
+                continue
+            grouped.setdefault(page_of_op(wr_id, self.config.size),
+                               []).append(time_ns)
+        return grouped
+
+
+def run_microbench(config: MicrobenchConfig,
+                   on_cluster=None) -> MicrobenchResult:
+    """Execute one micro-benchmark run and collect its metrics.
+
+    ``on_cluster``, when given, is called with the freshly built
+    :class:`~repro.host.cluster.Cluster` before any traffic — the hook
+    the capture layer uses to attach a sniffer.
+    """
+    cluster = build_pair(device=config.device, seed=config.seed,
+                         profile=config.profile)
+    if on_cluster is not None:
+        on_cluster(cluster)
+    sim = cluster.sim
+    client_node, server_node = cluster.nodes
+
+    client_ctx = client_node.open_device()
+    server_ctx = server_node.open_device()
+    client_pd = client_ctx.alloc_pd()
+    server_pd = server_ctx.alloc_pd()
+    client_cq = client_ctx.create_cq()
+    server_cq = server_ctx.create_cq()
+
+    client_mode = OdpMode.EXPLICIT if config.odp.client_odp else OdpMode.PINNED
+    server_mode = OdpMode.EXPLICIT if config.odp.server_odp else OdpMode.PINNED
+
+    local_buf = client_node.mmap(config.buffer_bytes)
+    remote_buf = server_node.mmap(config.buffer_bytes)
+    if config.fill_server_data and not config.odp.server_odp:
+        # Mark each message so data integrity is checkable; touching an
+        # ODP buffer would spoil the first-touch fault pattern, so only
+        # pinned server buffers get filled.
+        for i in range(config.num_ops):
+            remote_buf.write(i * config.size, bytes([i % 256]))
+
+    client_mr = client_pd.reg_mr(local_buf, Access.all(), odp=client_mode)
+    server_mr = server_pd.reg_mr(remote_buf, Access.all(), odp=server_mode)
+
+    attrs = QpAttrs(cack=config.cack, retry_count=config.retry_count,
+                    min_rnr_timer_ns=config.min_rnr_timer_ns)
+    client_qps = []
+    for _ in range(config.num_qps):
+        cqp = client_pd.create_qp(send_cq=client_cq,
+                                  max_send_wr=max(1024, config.num_ops))
+        sqp = server_pd.create_qp(send_cq=server_cq,
+                                  max_send_wr=max(1024, config.num_ops))
+        cqp.connect(sqp.info(), attrs)
+        sqp.connect(cqp.info(), attrs)
+        client_qps.append(cqp)
+
+    completions: List[Tuple[int, int, WcStatus]] = []
+    client_cq.on_completion = lambda wc: completions.append(
+        (wc.wr_id, wc.completed_at, wc.status))
+
+    timing: Dict[str, int] = {}
+
+    def benchmark():
+        yield all_of([client_mr.ready, server_mr.ready])
+        timing["start"] = sim.now
+        for i in range(config.num_ops):
+            local = Sge(client_mr, local_buf.addr(i * config.size),
+                        config.size)
+            remote = RemoteAddr(remote_buf.addr(i * config.size),
+                                server_mr.rkey)
+            qp = client_qps[i % config.num_qps]
+            qp.post_send(WorkRequest.read(wr_id=i, local=local, remote=remote))
+            delay = config.interval_ns + config.post_overhead_ns
+            if delay and i != config.num_ops - 1:
+                yield delay
+        yield client_cq.wait(config.num_ops)
+        timing["end"] = sim.now
+
+    proc = Process(sim, benchmark(), name="microbench")
+    sim.run_until_idle()
+    if not proc.done:
+        raise RuntimeError("micro-benchmark did not complete "
+                           f"(pending events: {sim.pending_events()})")
+    _ = proc.result  # surface exceptions
+
+    client_rnic = client_node.rnic
+    server_rnic = server_node.rnic
+    timeouts = sum(qp.requester.timeouts for qp in client_qps)
+    errors = sum(1 for _wr, _t, status in completions if status.is_error)
+    return MicrobenchResult(
+        config=config,
+        execution_time_ns=timing["end"] - timing["start"],
+        completions=sorted(completions, key=lambda c: c[1]),
+        total_packets=cluster.total_packets(),
+        timeouts=timeouts,
+        rnr_naks=server_rnic.stats["rnr_naks"] + client_rnic.stats["rnr_naks"],
+        seq_naks=server_rnic.stats["seq_naks"] + client_rnic.stats["seq_naks"],
+        flaw_drops=server_rnic.stats["flaw_drops"]
+        + client_rnic.stats["flaw_drops"],
+        responses_discarded_odp=sum(
+            qp.requester.responses_discarded_odp for qp in client_qps),
+        responses_discarded_rnr=sum(
+            qp.requester.responses_discarded_rnr for qp in client_qps),
+        blind_retransmit_rounds=sum(
+            qp.requester.blind_retransmit_rounds for qp in client_qps),
+        client_page_faults=client_rnic.odp.client_faults,
+        server_page_faults=server_rnic.odp.server_faults,
+        errors=errors,
+    )

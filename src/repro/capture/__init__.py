@@ -1,0 +1,26 @@
+"""Packet capture and trace analysis — the simulator's ``ibdump``.
+
+:class:`repro.capture.sniffer.Sniffer` taps the fabric and records every
+packet with its timestamp, direction and headers.
+:mod:`repro.capture.analyze` turns those traces into the workflow
+summaries the paper presents in Figures 1, 5 and 8, and detects the two
+pitfalls' signatures (a timeout-sized silence for damming, retransmission
+storms for flood).
+"""
+
+from repro.capture.analyze import (
+    WorkflowStep,
+    detect_damming,
+    detect_flood,
+    extract_workflow,
+)
+from repro.capture.sniffer import CaptureRecord, Sniffer
+
+__all__ = [
+    "CaptureRecord",
+    "Sniffer",
+    "WorkflowStep",
+    "extract_workflow",
+    "detect_damming",
+    "detect_flood",
+]

@@ -1,0 +1,144 @@
+"""Trace analysis: workflow extraction and pitfall detection.
+
+``extract_workflow`` reconstructs the per-QP message sequence the paper
+draws in Figures 1, 5 and 8 from a capture.  ``detect_damming`` and
+``detect_flood`` implement the signatures the paper derived:
+
+* damming — a transport-timeout-sized silence between a request and its
+  eventual retransmission on one QP,
+* flood — the same READ request observed many times (massive PSN reuse)
+  paired with responses that keep being re-sent.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.capture.sniffer import CaptureRecord
+from repro.ib.opcodes import Opcode, Syndrome
+from repro.sim.timebase import MS
+
+
+@dataclass
+class WorkflowStep:
+    """One arrow of a Figure 1/5/8-style workflow diagram."""
+
+    time_ns: int
+    direction: str  # "client->server" or "server->client"
+    label: str
+    psn: int
+    retransmission: bool
+
+    def render(self, t0: int = 0) -> str:
+        """One printable line with a relative timestamp."""
+        arrow = "-->" if self.direction == "client->server" else "<--"
+        retx = " (retx)" if self.retransmission else ""
+        return (f"{(self.time_ns - t0) / 1e6:9.3f} ms  {arrow}  "
+                f"{self.label}{retx} [psn {self.psn}]")
+
+
+def extract_workflow(records: Sequence[CaptureRecord], client_lid: int,
+                     qpn: Optional[int] = None) -> List[WorkflowStep]:
+    """Rebuild the message sequence between a client and its peer."""
+    steps: List[WorkflowStep] = []
+    for record in records:
+        if qpn is not None and qpn not in (record.src_qpn, record.dst_qpn):
+            continue
+        direction = ("client->server" if record.src_lid == client_lid
+                     else "server->client")
+        label = record.opcode.value
+        if record.syndrome is Syndrome.RNR_NAK:
+            label = "RNR NAK"
+        elif record.syndrome is Syndrome.NAK_PSN_SEQ_ERR:
+            label = "NAK (PSN Sequence Error)"
+        steps.append(WorkflowStep(record.time_ns, direction, label,
+                                  record.psn, record.retransmission))
+    return steps
+
+
+@dataclass
+class DammingReport:
+    """Outcome of the damming detector."""
+
+    detected: bool
+    stall_ns: int = 0
+    stalled_qpn: Optional[int] = None
+    stall_started_ns: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.detected
+
+
+def detect_damming(records: Sequence[CaptureRecord],
+                   min_stall_ns: int = 20 * MS) -> DammingReport:
+    """Find a timeout-scale silence on a QP that ends in activity.
+
+    Packet damming's on-wire signature is a gap of hundreds of
+    milliseconds on one QP between consecutive packets, terminated by a
+    retransmission (Figure 5).
+    """
+    by_qp: Dict[int, List[CaptureRecord]] = defaultdict(list)
+    for record in records:
+        by_qp[min(record.src_qpn, record.dst_qpn)].append(record)
+    best = DammingReport(False)
+    for qpn, recs in by_qp.items():
+        for prev, cur in zip(recs, recs[1:]):
+            gap = cur.time_ns - prev.time_ns
+            if gap >= min_stall_ns and gap > best.stall_ns:
+                best = DammingReport(True, gap, qpn, prev.time_ns)
+    return best
+
+
+@dataclass
+class FloodReport:
+    """Outcome of the flood detector."""
+
+    detected: bool
+    total_packets: int = 0
+    retransmitted_requests: int = 0
+    max_psn_repeats: int = 0
+    qps_involved: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.detected
+
+
+def detect_flood(records: Sequence[CaptureRecord],
+                 min_repeats: int = 8,
+                 min_qps: int = 2) -> FloodReport:
+    """Find massive repeated retransmission of the same READ requests.
+
+    Packet flood's signature is the same request PSN appearing tens to
+    hundreds of times across many QPs (Section VI-A: packet counts
+    hundreds of times greater than without ODP).
+    """
+    repeats: Counter = Counter()
+    retx = 0
+    for record in records:
+        if record.opcode is Opcode.RDMA_READ_REQUEST:
+            repeats[(record.src_qpn, record.psn)] += 1
+            if record.retransmission:
+                retx += 1
+    if not repeats:
+        return FloodReport(False, len(records), 0, 0, 0)
+    max_repeats = max(repeats.values())
+    flooded_qps = {qpn for (qpn, _psn), count in repeats.items()
+                   if count >= min_repeats}
+    detected = max_repeats >= min_repeats and len(flooded_qps) >= min_qps
+    return FloodReport(detected, len(records), retx, max_repeats,
+                       len(flooded_qps))
+
+
+def packets_per_ms(records: Sequence[CaptureRecord],
+                   bucket_ms: float = 1.0) -> List[Tuple[float, int]]:
+    """Time series of packet counts (for flood visualisation)."""
+    if not records:
+        return []
+    bucket_ns = round(bucket_ms * MS)
+    counts: Counter = Counter()
+    for record in records:
+        counts[record.time_ns // bucket_ns] += 1
+    return [(bucket * bucket_ms, counts[bucket])
+            for bucket in sorted(counts)]

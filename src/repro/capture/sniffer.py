@@ -1,0 +1,119 @@
+"""The in-simulator ``ibdump``.
+
+A :class:`Sniffer` registers a tap on the fabric and records one
+:class:`CaptureRecord` per injected packet.  As with the real tool, the
+capture can be restricted to the traffic of one HCA (LID) — the paper
+could only run ibdump on the KNL nodes where it had sudo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from repro.ib.opcodes import Opcode, Syndrome
+from repro.ib.packets import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+
+
+@dataclass
+class CaptureRecord:
+    """One captured packet."""
+
+    time_ns: int
+    src_lid: int
+    dst_lid: int
+    src_qpn: int
+    dst_qpn: int
+    opcode: Opcode
+    psn: int
+    payload_size: int
+    syndrome: Optional[Syndrome]
+    retransmission: bool
+
+    @property
+    def is_rnr_nak(self) -> bool:
+        """RNR NAK packet."""
+        return self.syndrome is Syndrome.RNR_NAK
+
+    @property
+    def is_seq_nak(self) -> bool:
+        """PSN sequence error NAK."""
+        return self.syndrome is Syndrome.NAK_PSN_SEQ_ERR
+
+    def describe(self) -> str:
+        """One-line rendering, ibdump style."""
+        parts = [f"{self.time_ns / 1e6:10.4f} ms",
+                 f"lid{self.src_lid}->lid{self.dst_lid}",
+                 f"qp{self.src_qpn}->qp{self.dst_qpn}",
+                 self.opcode.value, f"psn={self.psn}"]
+        if self.syndrome is not None and self.syndrome is not Syndrome.ACK:
+            parts.append(self.syndrome.value)
+        if self.retransmission:
+            parts.append("(retx)")
+        if self.payload_size:
+            parts.append(f"{self.payload_size}B")
+        return " ".join(parts)
+
+
+class Sniffer:
+    """Fabric tap collecting :class:`CaptureRecord` objects."""
+
+    def __init__(self, network: "Network", lid: Optional[int] = None):
+        self.network = network
+        self.lid = lid
+        self.records: List[CaptureRecord] = []
+        self._attached = False
+        self.attach()
+
+    def attach(self) -> None:
+        """Start capturing."""
+        if not self._attached:
+            self.network.add_tap(self._tap)
+            self._attached = True
+
+    def detach(self) -> None:
+        """Stop capturing."""
+        if self._attached:
+            self.network.remove_tap(self._tap)
+            self._attached = False
+
+    def clear(self) -> None:
+        """Drop the records collected so far."""
+        self.records.clear()
+
+    def _tap(self, time_ns: int, src_lid: int, packet: Packet) -> None:
+        if self.lid is not None and self.lid not in (packet.src_lid,
+                                                     packet.dst_lid):
+            return
+        self.records.append(CaptureRecord(
+            time_ns=time_ns,
+            src_lid=packet.src_lid,
+            dst_lid=packet.dst_lid,
+            src_qpn=packet.src_qpn,
+            dst_qpn=packet.dst_qpn,
+            opcode=packet.opcode,
+            psn=packet.psn,
+            payload_size=packet.payload_size,
+            syndrome=packet.aeth.syndrome if packet.aeth else None,
+            retransmission=packet.retransmission,
+        ))
+
+    # ------------------------------------------------------------------
+
+    def for_qp(self, qpn: int) -> List[CaptureRecord]:
+        """Records involving one QP (either direction)."""
+        return [r for r in self.records if qpn in (r.src_qpn, r.dst_qpn)]
+
+    def count(self, opcode: Optional[Opcode] = None) -> int:
+        """Total records, optionally filtered by opcode."""
+        if opcode is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r.opcode is opcode)
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Multi-line textual dump (for examples and debugging)."""
+        rows = self.records if limit is None else self.records[:limit]
+        return "\n".join(r.describe() for r in rows)

@@ -1,0 +1,156 @@
+"""Command-line front end: regenerate any table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig04 [--fast] [--seed 1]
+    python -m repro all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+
+def _fig01(fast: bool, seed: int) -> str:
+    from repro.experiments.fig01_workflow import run_figure1
+    return "\n\n".join(r.render() for r in run_figure1(seed=seed))
+
+
+def _fig02(fast: bool, seed: int) -> str:
+    from repro.experiments.fig02_timeout import run_figure2
+    cacks = [1, 4, 8, 12, 14, 16, 18, 21] if fast else list(range(1, 22))
+    return run_figure2(cacks=cacks, seed=seed).render()
+
+
+def _fig04(fast: bool, seed: int) -> str:
+    from repro.experiments.fig04_damming import run_figure4
+    trials = 3 if fast else 10
+    return run_figure4(trials=trials, seed=seed).render()
+
+
+def _fig05(fast: bool, seed: int) -> str:
+    from repro.experiments.fig05_workflow import run_figure5
+    from repro.bench.microbench import OdpSetup
+    parts = [run_figure5(OdpSetup.SERVER, seed=seed).render(),
+             run_figure5(OdpSetup.CLIENT, interval_ms=0.3,
+                         seed=seed).render()]
+    return "\n\n".join(parts)
+
+
+def _fig06(fast: bool, seed: int) -> str:
+    from repro.experiments.fig06_probability import (run_figure6a,
+                                                     run_figure6b)
+    trials = 4 if fast else 10
+    return (run_figure6a(trials=trials, seed=seed).render() + "\n\n"
+            + run_figure6b(trials=trials, seed=seed).render())
+
+
+def _fig07(fast: bool, seed: int) -> str:
+    from repro.experiments.fig07_more_reads import run_figure7
+    trials = 4 if fast else 10
+    return run_figure7(trials=trials, seed=seed).render()
+
+
+def _fig08(fast: bool, seed: int) -> str:
+    from repro.experiments.fig08_workflow import run_figure8
+    return run_figure8(seed=seed).render()
+
+
+def _fig09(fast: bool, seed: int) -> str:
+    from repro.experiments.fig09_flood import run_figure9
+    if fast:
+        result = run_figure9(qps_values=[1, 10, 50, 128], scale=16,
+                             seed=seed)
+    else:
+        result = run_figure9(scale=4, seed=seed)
+    return result.render()
+
+
+def _fig10(fast: bool, seed: int) -> str:
+    from repro.experiments.fig10_layout import run_figure10
+    return run_figure10().render()
+
+
+def _fig11(fast: bool, seed: int) -> str:
+    from repro.experiments.fig11_completion import run_figure11_both
+    a, b = run_figure11_both(seed=seed)
+    return a.render() + "\n\n" + b.render()
+
+
+def _fig12(fast: bool, seed: int) -> str:
+    from repro.experiments.fig12_argodsm import run_figure12_all
+    trials = 20 if fast else 100
+    return "\n\n".join(r.render()
+                       for r in run_figure12_all(trials=trials, seed=seed))
+
+
+def _tab13(fast: bool, seed: int) -> str:
+    from repro.apps.spark.workloads import SPARK_CELLS
+    from repro.experiments.tab13_spark import run_table13
+    cells = SPARK_CELLS[:4] if fast else None
+    return run_table13(cells=cells, seed=seed).render()
+
+
+def _tables(fast: bool, seed: int) -> str:
+    from repro.experiments.tables import render_table1, render_table2
+    return render_table1() + "\n\n" + render_table2()
+
+
+EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
+    "tables": _tables,
+    "fig01": _fig01,
+    "fig02": _fig02,
+    "fig04": _fig04,
+    "fig05": _fig05,
+    "fig06": _fig06,
+    "fig07": _fig07,
+    "fig08": _fig08,
+    "fig09": _fig09,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "tab13": _tab13,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    """Entry point of ``ib-odp-repro`` / ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="ib-odp-repro",
+        description="Regenerate the tables and figures of 'Pitfalls of "
+                    "InfiniBand with On-Demand Paging' (ISPASS 2021) "
+                    "against the simulated RC+ODP stack.")
+    parser.add_argument("experiment",
+                        help="one of: list, all, "
+                             + ", ".join(EXPERIMENTS))
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced trial counts / sweep sizes")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulation seed (default 0)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}; "
+                     f"try 'list'")
+    for name in names:
+        started = time.time()
+        print(f"=== {name} ===")
+        print(EXPERIMENTS[name](args.fast, args.seed))
+        print(f"--- {name} done in {time.time() - started:.1f}s ---\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

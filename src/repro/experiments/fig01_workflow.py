@@ -1,0 +1,103 @@
+"""Figure 1: the workflow of a single READ under ODP, observed via the
+ibdump-equivalent sniffer.
+
+The paper's findings this experiment must show:
+
+* **server-side ODP** — the responder answers the faulting request with
+  an RNR NAK; the requester waits the *actual* RNR delay (about 4.5 ms
+  for a configured 1.28 ms) and retransmits; meanwhile it discards
+  responses.
+* **client-side ODP** — no RNR NAK at all; the requester discards the
+  faulted response and blindly retransmits the request after ~0.5 ms,
+  regardless of the fault's resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.bench.microbench import MicrobenchConfig, OdpSetup
+from repro.capture.analyze import WorkflowStep, extract_workflow
+from repro.capture.sniffer import Sniffer
+from repro.host.cluster import build_pair
+from repro.ib.opcodes import Opcode
+from repro.ib.verbs.enums import Access, OdpMode
+from repro.ib.verbs.qp import QpAttrs
+from repro.ib.verbs.wr import RemoteAddr, Sge, WorkRequest
+from repro.sim.process import Process
+from repro.sim.timebase import MS, ns_to_ms
+
+
+@dataclass
+class WorkflowResult:
+    """Captured workflow of one single-READ run."""
+
+    setup: OdpSetup
+    steps: List[WorkflowStep]
+    completion_ms: float
+    rnr_naks: int
+    blind_retransmits: int
+
+    def render(self) -> str:
+        """Figure-1-style textual sequence diagram."""
+        t0 = self.steps[0].time_ns if self.steps else 0
+        lines = [f"Workflow of a single READ ({self.setup.value}-side ODP), "
+                 f"completed in {self.completion_ms:.2f} ms:"]
+        lines += [step.render(t0) for step in self.steps]
+        return "\n".join(lines)
+
+
+def run_single_read(setup: OdpSetup, seed: int = 0,
+                    min_rnr_timer_ms: float = 1.28) -> WorkflowResult:
+    """Run one READ with the requested ODP sides and capture packets."""
+    cluster = build_pair(seed=seed)
+    sim = cluster.sim
+    client_node, server_node = cluster.nodes
+    sniffer = Sniffer(cluster.network)
+
+    client_pd = client_node.open_device().alloc_pd()
+    server_pd = server_node.open_device().alloc_pd()
+    client_cq = client_node.open_device().create_cq()
+    server_cq = server_node.open_device().create_cq()
+    client_buf = client_node.mmap(4096, populate=not setup.client_odp)
+    server_buf = server_node.mmap(4096, populate=not setup.server_odp)
+    client_mr = client_pd.reg_mr(
+        client_buf, Access.all(),
+        odp=OdpMode.EXPLICIT if setup.client_odp else OdpMode.PINNED)
+    server_mr = server_pd.reg_mr(
+        server_buf, Access.all(),
+        odp=OdpMode.EXPLICIT if setup.server_odp else OdpMode.PINNED)
+    attrs = QpAttrs(cack=1, min_rnr_timer_ns=round(min_rnr_timer_ms * MS))
+    client_qp = client_pd.create_qp(client_cq)
+    server_qp = server_pd.create_qp(server_cq)
+    client_qp.connect(server_qp.info(), attrs)
+    server_qp.connect(client_qp.info(), attrs)
+    sim.run_until_idle()
+    sniffer.clear()
+
+    start = sim.now
+
+    def bench():
+        client_qp.post_send(WorkRequest.read(
+            wr_id=1, local=Sge(client_mr, client_buf.addr(0), 100),
+            remote=RemoteAddr(server_buf.addr(0), server_mr.rkey)))
+        yield client_cq.wait(1)
+
+    proc = Process(sim, bench(), name="fig01")
+    sim.run_until_idle()
+    _ = proc.result
+
+    return WorkflowResult(
+        setup=setup,
+        steps=extract_workflow(sniffer.records, client_lid=client_node.lid),
+        completion_ms=ns_to_ms(sim.now - start),
+        rnr_naks=sum(1 for r in sniffer.records if r.is_rnr_nak),
+        blind_retransmits=client_qp.requester.blind_retransmit_rounds,
+    )
+
+
+def run_figure1(seed: int = 0) -> List[WorkflowResult]:
+    """Both halves of Figure 1."""
+    return [run_single_read(OdpSetup.SERVER, seed=seed),
+            run_single_read(OdpSetup.CLIENT, seed=seed)]

@@ -1,0 +1,122 @@
+"""Figure 2: actual timeout detection time T_o versus C_ACK.
+
+Method, exactly as in the paper: deliberately cause packet loss by
+connecting the QP to a *wrong destination LID*, set ``C_retry = 7``,
+measure the time ``t`` from the first request to the process aborting
+with ``IBV_WC_RETRY_EXC_ERR``, and report ``T_o = t / (C_retry + 1)``.
+
+The expected findings: every ConnectX-3/4/6 system floors at ~500 ms
+(vendor minimum ``C_ACK = 16``) while ConnectX-5 floors at ~30 ms
+(``C_ACK = 12``); above the floor, T_o doubles per C_ACK step and sits
+between the theoretical ``T_tr`` and ``4 T_tr``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.host.cluster import Cluster
+from repro.ib.device import (ACK_TIMEOUT_BASE_NS, SystemInfo,
+                             TABLE1_SYSTEMS, get_system)
+from repro.ib.verbs.enums import Access, WcStatus
+from repro.ib.verbs.qp import QpAttrs, QpInfo
+from repro.ib.verbs.wr import RemoteAddr, Sge, WorkRequest
+from repro.report import format_table
+from repro.sim.process import Process
+from repro.sim.timebase import ns_to_ms
+
+#: LID that no switch port knows about (packets vanish in the fabric).
+WRONG_LID = 0x7FFF
+
+RETRY_COUNT = 7
+
+
+class TimeoutMeasurementError(RuntimeError):
+    """The aborted completion never arrived (model bug guard)."""
+
+
+def measure_timeout_ms(system: SystemInfo, cack: int, seed: int = 0) -> float:
+    """One Figure 2 data point: T_o in milliseconds."""
+    cluster = Cluster(profile=system.device, nodes=2, seed=seed)
+    sim = cluster.sim
+    client, server = cluster.nodes
+    pd = client.open_device().alloc_pd()
+    cq = client.open_device().create_cq()
+    buf = client.mmap(4096, populate=True)
+    mr = pd.reg_mr(buf, Access.all())
+    qp = pd.create_qp(cq)
+    server_qp = server.open_device().alloc_pd().create_qp(
+        server.open_device().create_cq())
+    # The deliberate misconfiguration: right QPN/PSN, wrong LID.
+    info = server_qp.info()
+    qp.connect(QpInfo(WRONG_LID, info.qpn, info.psn),
+               QpAttrs(cack=cack, retry_count=RETRY_COUNT))
+    sim.run_until_idle()
+
+    start = sim.now
+    qp.post_send(WorkRequest.read(
+        wr_id=1, local=Sge(mr, buf.addr(0), 64),
+        remote=RemoteAddr(buf.addr(0), 0x1234)))
+    sim.run_until_idle()
+    wcs = cq.poll(4)
+    if not wcs or wcs[0].status is not WcStatus.RETRY_EXC_ERR:
+        raise TimeoutMeasurementError(
+            f"expected IBV_WC_RETRY_EXC_ERR, got {wcs!r}")
+    elapsed = sim.now - start
+    return ns_to_ms(elapsed / (RETRY_COUNT + 1))
+
+
+def theoretical_ttr_ms(cack: int) -> float:
+    """``T_tr = 4.096 us * 2^C_ACK`` with no vendor clamping."""
+    return ACK_TIMEOUT_BASE_NS * (2 ** cack) / 1e6
+
+
+@dataclass
+class TimeoutCurve:
+    """T_o measurements for one system across C_ACK values."""
+
+    system: str
+    points: Dict[int, float] = field(default_factory=dict)  # cack -> T_o ms
+
+    def floor_ms(self) -> float:
+        """The measured lower limit of T_o."""
+        return min(self.points.values())
+
+
+@dataclass
+class Figure2Result:
+    """All curves plus the theoretical lines."""
+
+    curves: List[TimeoutCurve]
+    cacks: List[int]
+
+    def render(self) -> str:
+        """Figure-2-shaped table: one row per C_ACK, one column/system."""
+        headers = ["C_ACK", "T_tr (theory)", "4*T_tr"] + [
+            c.system for c in self.curves]
+        rows = []
+        for cack in self.cacks:
+            row = [cack, f"{theoretical_ttr_ms(cack):.2f} ms",
+                   f"{4 * theoretical_ttr_ms(cack):.2f} ms"]
+            row += [f"{c.points[cack]:.1f} ms" for c in self.curves]
+            rows.append(row)
+        return format_table(headers, rows,
+                            title="Figure 2: measured T_o by C_ACK")
+
+
+def run_figure2(cacks: Optional[List[int]] = None,
+                systems: Optional[List[str]] = None,
+                seed: int = 0) -> Figure2Result:
+    """Measure T_o for every Table I system across C_ACK values."""
+    cacks = cacks if cacks is not None else list(range(1, 22))
+    names = systems if systems is not None else [s.name for s in
+                                                 TABLE1_SYSTEMS]
+    curves = []
+    for name in names:
+        system = get_system(name)
+        curve = TimeoutCurve(system=name)
+        for cack in cacks:
+            curve.points[cack] = measure_timeout_ms(system, cack, seed=seed)
+        curves.append(curve)
+    return Figure2Result(curves=curves, cacks=cacks)

@@ -1,0 +1,75 @@
+"""Figure 4: average execution time of the micro-benchmark (two READs,
+both-side ODP) versus the interval between the operations.
+
+Expected shape: several hundred milliseconds (a transport timeout) for
+intervals of roughly 100-4500 us, and sub-10 ms outside that range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.bench.microbench import MicrobenchConfig, OdpSetup, run_microbench
+from repro.report import ascii_chart, format_table
+from repro.sim.timebase import MS
+
+
+@dataclass
+class Figure4Point:
+    """One interval's statistics across trials."""
+
+    interval_ms: float
+    mean_exec_s: float
+    timeout_fraction: float
+
+
+@dataclass
+class Figure4Result:
+    """The full sweep."""
+
+    points: List[Figure4Point]
+    trials: int
+
+    def render(self) -> str:
+        """Table plus ASCII curve."""
+        table = format_table(
+            ["interval [ms]", "mean exec [s]", "timeout fraction"],
+            [(f"{p.interval_ms:.2f}", f"{p.mean_exec_s:.3f}",
+              f"{p.timeout_fraction:.2f}") for p in self.points],
+            title=f"Figure 4: two READs, both-side ODP ({self.trials} trials)")
+        chart = ascii_chart(
+            [(p.interval_ms, p.mean_exec_s) for p in self.points],
+            x_label="interval [ms]", y_label="mean exec time [s]",
+            title="Figure 4 (shape):")
+        return table + "\n\n" + chart
+
+    def plateau_intervals_ms(self) -> List[float]:
+        """Intervals whose mean execution time exceeds 100 ms."""
+        return [p.interval_ms for p in self.points if p.mean_exec_s > 0.1]
+
+
+def run_figure4(intervals_ms: Optional[List[float]] = None,
+                trials: int = 10, seed: int = 0,
+                min_rnr_delay_ms: float = 1.28) -> Figure4Result:
+    """Sweep the interval with 10 trials each, as in the paper."""
+    if intervals_ms is None:
+        intervals_ms = [0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 2.5,
+                        3.0, 3.5, 4.0, 4.5, 5.0, 5.5, 6.0]
+    points = []
+    for interval_ms in intervals_ms:
+        execs = []
+        timeouts = 0
+        for trial in range(trials):
+            result = run_microbench(MicrobenchConfig(
+                num_ops=2, odp=OdpSetup.BOTH,
+                interval_us=interval_ms * 1000,
+                min_rnr_timer_ns=round(min_rnr_delay_ms * MS),
+                seed=seed * 1009 + trial))
+            execs.append(result.execution_time_s)
+            timeouts += 1 if result.timed_out else 0
+        points.append(Figure4Point(
+            interval_ms=interval_ms,
+            mean_exec_s=sum(execs) / len(execs),
+            timeout_fraction=timeouts / trials))
+    return Figure4Result(points=points, trials=trials)

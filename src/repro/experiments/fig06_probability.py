@@ -1,0 +1,99 @@
+"""Figure 6: probability of timeout versus interval, for server-side and
+client-side ODP.
+
+Expected shapes:
+
+* server-side (6a): the timeout range tracks the *actual* RNR delay —
+  up to ~4.5 ms of interval for a configured 1.28 ms, shifting with the
+  configured value (0.01 / 1.28 / 10.24 ms legends);
+* client-side (6b): the range ends around the ~0.5 ms client-side
+  retransmission/fault-resolution scale, independent of the RNR knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.microbench import MicrobenchConfig, OdpSetup, run_microbench
+from repro.report import format_table
+from repro.sim.timebase import MS
+
+
+@dataclass
+class ProbabilityCurve:
+    """One legend entry: timeout probability per interval."""
+
+    label: str
+    points: Dict[float, float] = field(default_factory=dict)
+
+    def range_end_ms(self, threshold: float = 0.5) -> float:
+        """Largest interval whose timeout probability is >= threshold."""
+        qualifying = [i for i, p in self.points.items() if p >= threshold]
+        return max(qualifying) if qualifying else 0.0
+
+
+@dataclass
+class Figure6Result:
+    """One sub-figure (server-side or client-side)."""
+
+    side: OdpSetup
+    curves: List[ProbabilityCurve]
+    intervals_ms: List[float]
+    trials: int
+
+    def render(self) -> str:
+        """Probability table, one column per RNR delay."""
+        headers = ["interval [ms]"] + [c.label for c in self.curves]
+        rows = []
+        for interval in self.intervals_ms:
+            rows.append([f"{interval:.2f}"] +
+                        [f"{c.points[interval] * 100:.0f}%"
+                         for c in self.curves])
+        name = "6a (server-side)" if self.side is OdpSetup.SERVER \
+            else "6b (client-side)"
+        return format_table(headers, rows,
+                            title=f"Figure {name}: timeout probability "
+                                  f"({self.trials} trials)")
+
+
+def _probability(side: OdpSetup, interval_ms: float, rnr_delay_ms: float,
+                 trials: int, seed: int) -> float:
+    timeouts = 0
+    for trial in range(trials):
+        result = run_microbench(MicrobenchConfig(
+            num_ops=2, odp=side, interval_us=interval_ms * 1000,
+            min_rnr_timer_ns=round(rnr_delay_ms * MS),
+            seed=seed * 40_009 + trial))
+        timeouts += 1 if result.timed_out else 0
+    return timeouts / trials
+
+
+def run_figure6a(intervals_ms: Optional[List[float]] = None,
+                 rnr_delays_ms: Optional[List[float]] = None,
+                 trials: int = 10, seed: int = 0) -> Figure6Result:
+    """Server-side ODP with varying minimal RNR NAK delay."""
+    intervals = intervals_ms if intervals_ms is not None else \
+        [0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+    delays = rnr_delays_ms if rnr_delays_ms is not None else \
+        [0.01, 1.28, 10.24]
+    curves = []
+    for delay in delays:
+        curve = ProbabilityCurve(label=f"{delay} ms")
+        for interval in intervals:
+            curve.points[interval] = _probability(
+                OdpSetup.SERVER, interval, delay, trials, seed)
+        curves.append(curve)
+    return Figure6Result(OdpSetup.SERVER, curves, intervals, trials)
+
+
+def run_figure6b(intervals_ms: Optional[List[float]] = None,
+                 trials: int = 10, seed: int = 0) -> Figure6Result:
+    """Client-side ODP (1.28 ms legend only, as in the paper)."""
+    intervals = intervals_ms if intervals_ms is not None else \
+        [0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+    curve = ProbabilityCurve(label="1.28 ms")
+    for interval in intervals:
+        curve.points[interval] = _probability(
+            OdpSetup.CLIENT, interval, 1.28, trials, seed)
+    return Figure6Result(OdpSetup.CLIENT, [curve], intervals, trials)

@@ -1,0 +1,70 @@
+"""Figure 7: timeout probability with 2, 3 and 4 READ operations.
+
+Expected shape: increasing the number of operations *narrows* the
+dangerous interval range — roughly 4.5 ms for 2 operations, 2.25 ms for
+3, 1.5 ms for 4 — because an operation issued *after* the pending period
+draws a NAK (PSN sequence error) and rescues the dammed request
+(Section V-B); the timeout persists only while every operation fits in
+the first request's pending period (interval <= window / (n - 1)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.microbench import MicrobenchConfig, OdpSetup, run_microbench
+from repro.report import format_table
+from repro.sim.timebase import MS
+
+
+@dataclass
+class Figure7Result:
+    """Probability per (num_ops, interval)."""
+
+    num_ops_list: List[int]
+    intervals_ms: List[float]
+    trials: int
+    probabilities: Dict[int, Dict[float, float]] = field(default_factory=dict)
+
+    def range_end_ms(self, num_ops: int, threshold: float = 0.5) -> float:
+        """Largest interval still timing out for a given op count."""
+        points = self.probabilities[num_ops]
+        qualifying = [i for i, p in points.items() if p >= threshold]
+        return max(qualifying) if qualifying else 0.0
+
+    def render(self) -> str:
+        """Figure-7-shaped probability table."""
+        headers = ["interval [ms]"] + [f"{n} operations"
+                                       for n in self.num_ops_list]
+        rows = []
+        for interval in self.intervals_ms:
+            rows.append([f"{interval:.2f}"] + [
+                f"{self.probabilities[n][interval] * 100:.0f}%"
+                for n in self.num_ops_list])
+        return format_table(headers, rows,
+                            title=f"Figure 7: both-side ODP, minimal RNR NAK "
+                                  f"1.28 ms ({self.trials} trials)")
+
+
+def run_figure7(num_ops_list: Optional[List[int]] = None,
+                intervals_ms: Optional[List[float]] = None,
+                trials: int = 10, seed: int = 0) -> Figure7Result:
+    """Sweep operation count and interval, both-side ODP."""
+    ops_list = num_ops_list if num_ops_list is not None else [2, 3, 4]
+    intervals = intervals_ms if intervals_ms is not None else \
+        [0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0]
+    result = Figure7Result(ops_list, intervals, trials)
+    for num_ops in ops_list:
+        result.probabilities[num_ops] = {}
+        for interval in intervals:
+            timeouts = 0
+            for trial in range(trials):
+                run = run_microbench(MicrobenchConfig(
+                    num_ops=num_ops, odp=OdpSetup.BOTH,
+                    interval_us=interval * 1000,
+                    min_rnr_timer_ns=round(1.28 * MS),
+                    seed=seed * 50_021 + trial))
+                timeouts += 1 if run.timed_out else 0
+            result.probabilities[num_ops][interval] = timeouts / trials
+    return result

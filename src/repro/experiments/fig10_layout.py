@@ -1,0 +1,49 @@
+"""Figure 10: the memory layout of the flood experiment's buffer.
+
+With 128 QPs and 32-byte messages, operation ``i`` (on QP ``i % 128``)
+targets byte ``32 * i``; each 4096-byte page therefore carries exactly
+one message per QP (128 x 32 = 4096) and the page index of operation
+``i`` is ``(32 * i) // 4096``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.bench.microbench import page_of_op
+from repro.host.memory import PAGE_SIZE
+from repro.report import format_table
+
+
+@dataclass
+class Figure10Result:
+    """The op -> (QP, page) mapping."""
+
+    size: int
+    num_qps: int
+    num_ops: int
+    rows: List[Tuple[int, int, int, int]]  # (op, qp, byte offset, page)
+
+    def render(self) -> str:
+        """Layout excerpt table."""
+        shown = self.rows[:8] + [("...",) * 4] + self.rows[-4:] \
+            if len(self.rows) > 12 else self.rows
+        return format_table(
+            ["op", "QP", "byte offset", "page"],
+            shown,
+            title=f"Figure 10: {self.num_qps} QPs x {self.size} B messages "
+                  f"({PAGE_SIZE}-byte pages)")
+
+    def ops_per_page(self) -> int:
+        """Messages per page."""
+        return PAGE_SIZE // self.size
+
+
+def run_figure10(size: int = 32, num_qps: int = 128,
+                 num_ops: int = 512) -> Figure10Result:
+    """Materialise the layout for the Figure 11 parameters."""
+    rows = [(op, op % num_qps, size * op, page_of_op(op, size))
+            for op in range(num_ops)]
+    return Figure10Result(size=size, num_qps=num_qps, num_ops=num_ops,
+                          rows=rows)

@@ -1,0 +1,91 @@
+"""Figure 11: number of completed operations over time, per buffer page
+(128 QPs, 32-byte messages, client-side ODP).
+
+Expected findings:
+
+* 128 operations (one page, 11a): completions begin when the single
+  page fault resolves (~1 ms) but stragglers persist for several more
+  milliseconds — and the *first* operations finish *last* (the per-QP
+  page-status updates drain LIFO);
+* 512 operations (four pages, 11b): the stall grows to hundreds of
+  milliseconds as updates pile up across pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bench.microbench import (MicrobenchConfig, MicrobenchResult,
+                                    OdpSetup, run_microbench)
+from repro.report import ascii_chart, format_table
+from repro.sim.timebase import MS
+
+
+@dataclass
+class Figure11Result:
+    """Per-page completion timelines for one operation count."""
+
+    num_ops: int
+    num_qps: int
+    completion_ms_by_page: Dict[int, List[float]]
+    first_op_completion_ms: float
+    last_op_completion_ms: float
+    early_ops_finish_last: bool
+    timeouts: int
+
+    def render(self) -> str:
+        """Per-page percentile table plus a cumulative-completion chart."""
+        rows = []
+        for page, times in sorted(self.completion_ms_by_page.items()):
+            ordered = sorted(times)
+            rows.append([
+                page, len(ordered), f"{ordered[0]:.2f}",
+                f"{ordered[len(ordered) // 2]:.2f}", f"{ordered[-1]:.2f}"])
+        table = format_table(
+            ["page", "# finished", "first [ms]", "median [ms]", "last [ms]"],
+            rows, title=f"Figure 11 ({self.num_ops} operations, "
+                        f"{self.num_qps} QPs, client-side ODP)")
+        all_times = sorted(t for ts in self.completion_ms_by_page.values()
+                           for t in ts)
+        series = [(t, i + 1) for i, t in enumerate(all_times)]
+        chart = ascii_chart(series, x_label="time [ms]",
+                            y_label="# finished",
+                            title="Cumulative completions:")
+        return table + "\n\n" + chart
+
+
+def run_figure11(num_ops: int, num_qps: int = 128, size: int = 32,
+                 seed: int = 0) -> Figure11Result:
+    """One panel of Figure 11."""
+    run = run_microbench(MicrobenchConfig(
+        size=size, num_ops=num_ops, num_qps=num_qps,
+        odp=OdpSetup.CLIENT, cack=18,
+        min_rnr_timer_ns=round(1.28 * MS), seed=seed))
+    by_page = {page: [t / 1e6 for t in times]
+               for page, times in run.completion_times_by_page().items()}
+    completion_by_op = {wr_id: t for wr_id, t, status in run.completions}
+    first_ms = completion_by_op.get(0, 0) / 1e6
+    last_ms = max(completion_by_op.values()) / 1e6 if completion_by_op else 0
+    # "the first 30 operations remained unfinished" — compare the mean
+    # completion of the first and last 30 ops of the first page
+    early = [completion_by_op[i] for i in range(min(30, num_qps))
+             if i in completion_by_op]
+    late = [completion_by_op[i] for i in range(max(0, num_qps - 30), num_qps)
+            if i in completion_by_op]
+    early_last = bool(early and late and
+                      sum(early) / len(early) > sum(late) / len(late))
+    return Figure11Result(
+        num_ops=num_ops,
+        num_qps=num_qps,
+        completion_ms_by_page=by_page,
+        first_op_completion_ms=first_ms,
+        last_op_completion_ms=last_ms,
+        early_ops_finish_last=early_last,
+        timeouts=run.timeouts,
+    )
+
+
+def run_figure11_both(seed: int = 0) -> Tuple[Figure11Result, Figure11Result]:
+    """Both panels: 128 and 512 operations."""
+    return (run_figure11(128, seed=seed), run_figure11(512, seed=seed))

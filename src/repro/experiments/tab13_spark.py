@@ -1,0 +1,52 @@
+"""Table 13: SparkUCX execution time with ODP enabled/disabled.
+
+Twelve cells: three examples (SparkTC, mllib.RecommendationExample,
+mllib.RankingMetricsExample) x four cluster configurations.  Expected
+finding: enabling ODP degrades performance by up to ~6.5x, with the
+degree varying per system and example (the paper attributes the spread
+to timing).  Simulated times are scaled down by
+:data:`repro.apps.spark.workloads.TIME_SCALE`; the enable/disable ratio
+is the comparison target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.spark.benchmark import SparkCellResult, run_spark_cell
+from repro.apps.spark.workloads import SPARK_CELLS, SparkCell, TIME_SCALE
+from repro.report import format_table
+
+
+@dataclass
+class Table13Result:
+    """All measured cells."""
+
+    results: List[SparkCellResult]
+
+    def render(self) -> str:
+        """Table-13-shaped output with paper ratios alongside."""
+        rows = []
+        for r in self.results:
+            rows.append([
+                r.cell.workload, r.cell.system, r.cell.qps,
+                f"{r.disable_s:.2f}", f"{r.enable_s:.2f}",
+                f"{r.ratio:.2f}", f"{r.cell.paper_ratio:.2f}"])
+        return format_table(
+            ["Example", "System", "QPs", f"Disable [s/{TIME_SCALE}]",
+             f"Enable [s/{TIME_SCALE}]", "Ratio", "Paper ratio"],
+            rows,
+            title="Table 13: SparkUCX with ODP disabled/enabled "
+                  f"(times scaled 1/{TIME_SCALE})")
+
+    def worst_ratio(self) -> float:
+        """The headline number (paper: 6.46 on Reedbush-H SparkTC)."""
+        return max(r.ratio for r in self.results)
+
+
+def run_table13(cells: Optional[List[SparkCell]] = None,
+                seed: int = 0) -> Table13Result:
+    """Run all (or a subset of) Table 13 cells."""
+    todo = cells if cells is not None else SPARK_CELLS
+    return Table13Result([run_spark_cell(cell, seed=seed) for cell in todo])

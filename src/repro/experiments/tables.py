@@ -1,0 +1,26 @@
+"""Tables I and II: static inventory, rendered for the record."""
+
+from __future__ import annotations
+
+from repro.host.cluster import TABLE2_HOSTS
+from repro.ib.device import TABLE1_SYSTEMS
+from repro.report import format_table
+
+
+def render_table1() -> str:
+    """Table I: InfiniBand systems and their RNICs."""
+    rows = [(s.name, s.psid, f"{s.device.model} {s.rate_label}",
+             s.driver_version, s.firmware_version)
+            for s in TABLE1_SYSTEMS]
+    return format_table(
+        ["System name", "PSID", "Model name", "Driver", "Firmware"],
+        rows, title="Table I: InfiniBand systems and RNIC details")
+
+
+def render_table2() -> str:
+    """Table II: experimental environment."""
+    rows = [(h.name, h.cpu, h.logical_cores, f"{h.memory_gb} GB")
+            for h in TABLE2_HOSTS]
+    return format_table(
+        ["System name", "CPU", "# logical cores", "Memory"],
+        rows, title="Table II: experimental environment")

@@ -1,0 +1,26 @@
+"""Host-side models: virtual memory, kernel paging, the RNIC driver,
+nodes and clusters.
+
+The key interaction reproduced here is the ODP fault path: the RNIC asks
+the driver to resolve a missing translation, the driver queries the
+kernel (allocating or swapping pages in), writes the translation back to
+the NIC, and — in the reverse direction — kernel page reclaim invalidates
+NIC translations through an MMU-notifier-like callback.
+"""
+
+from repro.host.cluster import Cluster, HostSpec, TABLE2_HOSTS, build_pair
+from repro.host.kernel import Kernel
+from repro.host.memory import PAGE_SIZE, Region, VirtualMemory
+from repro.host.node import Node
+
+__all__ = [
+    "Cluster",
+    "HostSpec",
+    "TABLE2_HOSTS",
+    "build_pair",
+    "Kernel",
+    "PAGE_SIZE",
+    "Region",
+    "VirtualMemory",
+    "Node",
+]

@@ -1,0 +1,81 @@
+"""Clusters: the fabric plus a set of nodes, with Table II presets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.host.node import Node
+from repro.ib.device import DeviceProfile, get_device, get_system
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One row of the paper's Table II (experimental environment)."""
+
+    name: str
+    cpu: str
+    logical_cores: int
+    memory_gb: int
+
+
+#: Table II of the paper.
+TABLE2_HOSTS: Tuple[HostSpec, ...] = (
+    HostSpec("KNL (Private servers B)", "Xeon Phi CPU 7250 @ 1.40GHz",
+             272, 196 + 16),
+    HostSpec("Reedbush-H", "Xeon CPU E5-2695 v4 @ 2.10GHz", 36, 256),
+    HostSpec("ABCI", "Xeon Gold 6148 CPU @ 2.40GHz", 80, 384),
+)
+
+#: Map each Table II environment to its Table I system (RNIC).
+HOST_TO_SYSTEM: Dict[str, str] = {
+    "KNL (Private servers B)": "Private servers B",
+    "Reedbush-H": "Reedbush-H",
+    "ABCI": "ABCI",
+}
+
+
+class Cluster:
+    """A switch-connected set of nodes sharing one device model."""
+
+    def __init__(self, sim: Optional[Simulator] = None,
+                 device: str = "ConnectX-4", nodes: int = 2,
+                 profile: Optional[DeviceProfile] = None,
+                 seed: int = 0):
+        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.profile = profile if profile is not None else get_device(device)
+        self.network = Network(self.sim, rate=self.profile.rate)
+        self.nodes: List[Node] = []
+        for index in range(nodes):
+            self.add_node(f"node{index}")
+
+    @classmethod
+    def for_system(cls, system_name: str, nodes: int = 2,
+                   sim: Optional[Simulator] = None, seed: int = 0) -> "Cluster":
+        """Build a cluster matching a Table I system by name."""
+        system = get_system(system_name)
+        return cls(sim=sim, profile=system.device, nodes=nodes, seed=seed)
+
+    def add_node(self, name: str) -> Node:
+        """Attach one more node to the fabric."""
+        lid = len(self.nodes) + 1
+        node = Node(self.sim, name, lid, self.profile, self.network)
+        self.nodes.append(node)
+        return node
+
+    @property
+    def hosts(self) -> List[Node]:
+        """Alias kept for readability at call sites."""
+        return self.nodes
+
+    def total_packets(self) -> int:
+        """Packets injected into the fabric so far."""
+        return self.network.total_packets()
+
+
+def build_pair(device: str = "ConnectX-4", seed: int = 0,
+               profile: Optional[DeviceProfile] = None) -> Cluster:
+    """The two-node setup used by most of the paper's experiments."""
+    return Cluster(device=device, nodes=2, seed=seed, profile=profile)

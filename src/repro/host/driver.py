@@ -1,0 +1,109 @@
+"""The RNIC driver: network page-fault service and invalidation.
+
+Faults raised by the NIC are queued and served by a single handler
+thread, as in the mlx5 driver; the per-fault service time (interrupt,
+``get_user_pages``, writing the NIC translation) is drawn from the device
+profile's common-case range of 250–1000 µs (the paper's Figure 9a grey
+band).  Concurrent faults on the same (MR, page) coalesce into a single
+resolution.
+
+The reverse flow — kernel reclaim of a page — reaches the driver through
+a VM invalidation hook, and the driver flushes the NIC translation entry
+(Section III-A's invalidation path).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.future import Future
+from repro.sim.timebase import US
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ib.rnic import Rnic
+    from repro.ib.verbs.mr import MemoryRegion
+
+#: NIC translation flush cost on invalidation (dominated by page-table
+#: update per Lesokhin et al.).
+INVALIDATE_NS = 40 * US
+
+FaultKey = Tuple[int, int]  # (mr.handle, page index)
+
+
+class Driver:
+    """Single-threaded fault handler for one node's RNIC."""
+
+    def __init__(self, sim: Simulator, name: str = "mlx5_0"):
+        self.sim = sim
+        self.name = name
+        self._queue: Deque[Tuple["Rnic", "MemoryRegion", int]] = deque()
+        self._pending: Dict[FaultKey, Future] = {}
+        self._busy = False
+        self.faults_served = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Fault path (NIC -> driver -> kernel -> NIC)
+    # ------------------------------------------------------------------
+
+    def request_fault(self, rnic: "Rnic", mr: "MemoryRegion", page: int) -> Future:
+        """Raise a network page fault; resolves when the NIC mapping is in.
+
+        Duplicate requests for an in-flight (MR, page) return the same
+        future (hardware coalesces faults per page).
+        """
+        key = (mr.handle, page)
+        pending = self._pending.get(key)
+        if pending is not None:
+            return pending
+        done = Future(label=f"fault:{self.name}:{page:#x}")
+        self._pending[key] = done
+        self._queue.append((rnic, mr, page))
+        if not self._busy:
+            self._serve_next()
+        return done
+
+    def pending_faults(self) -> int:
+        """Faults queued or in service."""
+        return len(self._pending)
+
+    def _serve_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        rnic, mr, page = self._queue.popleft()
+        profile = rnic.profile
+        service_ns = self.sim.uniform_ns(profile.page_fault_min_ns,
+                                         profile.page_fault_max_ns)
+        self.sim.schedule(service_ns, self._complete, rnic, mr, page)
+
+    def _complete(self, rnic: "Rnic", mr: "MemoryRegion", page: int) -> None:
+        # Host side: the sampled service time already includes the kernel
+        # work, so materialise synchronously here.
+        mr.vm._restore_or_materialise(page)  # noqa: SLF001 - driver privilege
+        # NIC side: install the translation.
+        rnic.translation.map_page(mr, page)
+        self.faults_served += 1
+        done = self._pending.pop((mr.handle, page))
+        done.resolve(page)
+        self._serve_next()
+
+    # ------------------------------------------------------------------
+    # Invalidation path (kernel -> driver -> NIC)
+    # ------------------------------------------------------------------
+
+    def invalidate(self, rnic: "Rnic", mr: "MemoryRegion", page: int) -> Future:
+        """Flush a NIC translation entry after kernel reclaim."""
+        done = Future(label=f"invalidate:{page:#x}")
+
+        def finish() -> None:
+            rnic.translation.unmap_page(mr, page)
+            rnic.odp.on_page_invalidated(mr, page)
+            self.invalidations += 1
+            done.resolve(page)
+
+        self.sim.schedule(INVALIDATE_NS, finish)
+        return done

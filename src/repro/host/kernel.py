@@ -1,0 +1,68 @@
+"""Kernel paging service.
+
+The kernel resolves page presence for the RNIC driver (allocating a fresh
+page or restoring one from swap) and runs an optional reclaim policy that
+evicts unpinned pages under memory pressure — the trigger for the NIC
+invalidation flow of Section III-A.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.host.memory import PAGE_SIZE, VirtualMemory
+from repro.sim.engine import Simulator
+from repro.sim.future import Future
+from repro.sim.timebase import US
+
+#: Cost for the kernel to produce a resident page for the driver.
+ALLOC_ZERO_PAGE_NS = 3 * US
+SWAP_IN_NS = 60 * US
+
+
+class Kernel:
+    """Paging and reclaim for one node."""
+
+    def __init__(self, sim: Simulator, name: str = "kernel"):
+        self.sim = sim
+        self.name = name
+        self.pages_served = 0
+        self.pages_reclaimed = 0
+
+    def make_present(self, vm: VirtualMemory, page: int) -> Future:
+        """Ensure ``page`` is resident; resolves with the service delay.
+
+        A swapped-out page costs more than a fresh zero page, mirroring
+        the difference between allocation and retrieval from secondary
+        storage mentioned in Section III-A.
+        """
+        done = Future(label=f"make_present:{page:#x}")
+        swapped = page in vm._swap  # noqa: SLF001 - kernel owns paging state
+        delay = SWAP_IN_NS if swapped else ALLOC_ZERO_PAGE_NS
+
+        def finish() -> None:
+            vm._restore_or_materialise(page)  # noqa: SLF001
+            self.pages_served += 1
+            done.resolve(page)
+
+        self.sim.schedule(delay, finish)
+        return done
+
+    def reclaim(self, vm: VirtualMemory, target_pages: int) -> int:
+        """Evict up to ``target_pages`` unpinned pages (LRU order).
+
+        Returns the number actually evicted.  Eviction fires the VM's
+        invalidation hooks, which the driver uses to flush NIC entries.
+        """
+        candidates: List[int] = sorted(
+            (page for page, info in vm._pages.items() if info.pinned == 0),  # noqa: SLF001
+            key=lambda p: vm._pages[p].resident_since,  # noqa: SLF001
+        )
+        evicted = 0
+        for page in candidates:
+            if evicted >= target_pages:
+                break
+            if vm.evict(page):
+                evicted += 1
+        self.pages_reclaimed += evicted
+        return evicted

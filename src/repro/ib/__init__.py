@@ -1,0 +1,22 @@
+"""InfiniBand model: packets, device profiles, verbs, RC transport, ODP.
+
+Subpackages
+-----------
+
+``repro.ib.packets`` / ``repro.ib.opcodes``
+    Wire-level packet records (BTH/RETH/AETH fields) and opcodes.
+``repro.ib.device``
+    ConnectX-generation device profiles including the reverse-engineered
+    quirks from the paper (timeout floors, RNR timer wheel, the
+    ConnectX-4 damming flaw, the page-status update engine).
+``repro.ib.verbs``
+    The user-facing verbs API (context, PD, MR, CQ, QP).
+``repro.ib.transport``
+    The RC requester/responder state machines.
+``repro.ib.odp``
+    Network page faults, invalidation and per-QP page-status tracking.
+"""
+
+from repro.ib.device import DeviceProfile, get_device, list_devices
+
+__all__ = ["DeviceProfile", "get_device", "list_devices"]

@@ -1,0 +1,273 @@
+"""RNIC device profiles for the ConnectX generations in the paper.
+
+Every behaviour the paper reverse-engineered is a named, documented
+parameter here, so the benchmark harness can sweep them and the ablation
+benches can switch the quirks off:
+
+* ``min_cack`` — the vendor-defined minimum acceptable Local ACK Timeout
+  exponent ``c0`` (IB spec: "The minimum acceptable value ... shall be
+  defined by the CA vendor").  The paper measured floors of ~30 ms on
+  ConnectX-5 (``c0 = 12``) and ~500 ms on every other model (``c0 = 16``).
+* ``timeout_factor`` — measured detection time ``T_o`` relative to the
+  nominal interval ``T_tr = 4.096 us * 2^C_ACK``; the spec allows
+  ``[T_tr, 4*T_tr]`` and the paper's measurements sit near ``1.87``.
+* ``rnr_delay_factor`` — the *actual* wait after an RNR NAK relative to
+  the configured "minimal RNR NAK delay" (the paper observed ~4.5 ms for
+  a configured 1.28 ms on ConnectX-4, i.e. a factor near 3.5).
+* ``odp_client_retransmit_ns`` — the blind ~0.5 ms retransmission period
+  of client-side ODP (Figure 1, right).
+* ``damming_flaw`` — the ConnectX-4-specific responder defect behind
+  packet damming: requests arriving back-to-back after a replayed
+  (fault-recovered or duplicate) request in the same retransmission burst
+  are silently discarded without a NAK.  NVIDIA confirmed to the authors
+  that this "is a problem derived from a method specific to ConnectX-4
+  ... and it vanishes in later models".
+* the ``status_*`` parameters — the page-status update engine whose
+  starvation under retransmission pressure produces packet flood
+  (Section VI); present on every ODP-capable model (the paper confirmed
+  flood on ConnectX-4 and ConnectX-6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.timebase import MS, US
+
+#: Base unit of the Local ACK Timeout: 4.096 us (IB spec 1.4, C9-140).
+ACK_TIMEOUT_BASE_NS = 4_096
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Behavioural description of one RNIC model."""
+
+    model: str
+    rate: str  # link rate key: FDR / EDR / HDR
+    #: Vendor minimum for the Local ACK Timeout exponent (c0).
+    min_cack: int
+    #: Measured T_o / T_tr ratio (spec range [1, 4]).
+    timeout_factor: float = 1.87
+    #: Relative jitter applied to each measured timeout.
+    timeout_jitter: float = 0.04
+    #: Whether the model implements ODP at all (mlx5 generation onward).
+    odp_capable: bool = True
+    #: Actual RNR wait ~= configured * factor (coarse RNR timer wheel).
+    rnr_delay_factor: float = 3.5
+    #: Floor of the actual RNR wait even for tiny configured delays.
+    rnr_delay_min_ns: int = 30 * US
+    #: Relative jitter on the actual RNR wait.
+    rnr_delay_jitter: float = 0.08
+    #: Client-side ODP blind retransmission period (~0.5 ms).
+    odp_client_retransmit_ns: int = 500 * US
+    #: Latency between discarding a faulted READ response and the QP
+    #: actually blocking its send queue (fault raise + WQE state
+    #: transition in firmware).  Posts issued within this window are
+    #: still transmitted — and therefore "seen" by the responder, which
+    #: is what lets dense multi-QP workloads (Figures 9/11) recover via
+    #: PSN-sequence NAKs instead of damming on every operation.
+    odp_fault_raise_ns: int = 150 * US
+    #: Per-stale-QP scheduling cost added to the blind retransmission
+    #: period: with hundreds of stale QPs the paper observed READ
+    #: retransmissions "every several tens of milliseconds" (Section
+    #: VII-B) because "a high load is imposed on the client by managing
+    #: the RNR timer and retransmission" (Section VI-C).
+    odp_retransmit_per_qp_ns: int = 150 * US
+    #: Network page-fault service time range (common case 250-1000 us).
+    page_fault_min_ns: int = 250 * US
+    page_fault_max_ns: int = 1_000 * US
+    #: ConnectX-4 packet-damming responder defect.
+    damming_flaw: bool = False
+    #: Window after servicing a replayed request during which the flawed
+    #: responder discards back-to-back follow-on requests it has never
+    #: seen before.  At wire spacing (~0.7 us/packet) this covers the
+    #: 2-4 operation bursts of Figures 5-8; a longer burst's 5th+ packet
+    #: escapes, draws a PSN-sequence NAK and recovers the whole dam.
+    damming_window_ns: int = 3 * US
+    #: Latency from a faulting request's arrival to the RNR NAK leaving
+    #: the responder (fault detection + firmware NAK generation).  This
+    #: sets the *lower* bound of the damming interval range: a second
+    #: request posted before the NAK reaches the requester is still
+    #: transmitted and therefore "seen" by the responder (Figure 4's
+    #: safe zone below ~100 us).
+    odp_fault_nak_delay_ns: int = 100 * US
+    #: --- page-status update engine (packet flood) -------------------
+    #: Base cost of one per-QP page-status resume (what lets a stale QP
+    #: finally accept READ responses again).
+    status_resume_ns: int = 4_800
+    #: Congestion law: a resume costs
+    #: ``status_resume_ns * (1 + gamma * min(load, cap))**power`` where
+    #: the load is the NIC's retransmission pressure (outstanding READ
+    #: requests summed over stale QPs, plus the update backlog).  This
+    #: phenomenological model captures the paper's observation that
+    #: per-QP status updates lag for milliseconds with ~128 stale QPs
+    #: (Fig. 11a) and for seconds once hundreds of QP/page updates pile
+    #: up (Figs. 9a/11b); the internal hardware cause was never disclosed
+    #: ("we are waiting for the investigation report", Section IX-B).
+    status_congestion_gamma: float = 0.011
+    status_congestion_power: int = 3
+    #: Load value at which the congestion penalty saturates.
+    status_backlog_cap: int = 482
+    #: --- NIC packet processing -------------------------------------
+    tx_proc_ns: int = 700
+    rx_proc_ns: int = 300
+    #: Effective timeout stretch per additional active QP (Section VI-C:
+    #: "the timeout interval lengthened with multiple QPs").
+    timeout_stretch_per_qp: float = 0.004
+    #: Maximum transmission unit for path segmentation.
+    mtu: int = 2_048
+    #: Pinned (non-ODP) registration cost model: base + per-page cost.
+    reg_base_ns: int = 5 * US
+    reg_per_page_ns: int = 1_200
+    notes: str = ""
+
+    # ------------------------------------------------------------------
+
+    def effective_cack(self, requested: int) -> int:
+        """Clamp a requested ``C_ACK`` to the vendor minimum (0 disables)."""
+        if requested == 0:
+            return 0
+        return max(requested, self.min_cack)
+
+    def nominal_timeout_ns(self, requested_cack: int) -> int:
+        """``T_tr = 4.096 us * 2^effective_cack`` (0 = disabled -> 0)."""
+        cack = self.effective_cack(requested_cack)
+        if cack == 0:
+            return 0
+        return ACK_TIMEOUT_BASE_NS * (2 ** cack)
+
+    def detection_timeout_ns(self, requested_cack: int) -> int:
+        """Mean measured detection time ``T_o`` for a requested ``C_ACK``."""
+        return round(self.nominal_timeout_ns(requested_cack) * self.timeout_factor)
+
+    def actual_rnr_delay_ns(self, configured_ns: int) -> int:
+        """Mean actual wait after an RNR NAK for a configured delay."""
+        return max(self.rnr_delay_min_ns,
+                   round(configured_ns * self.rnr_delay_factor))
+
+    def registration_cost_ns(self, num_pages: int) -> int:
+        """Pin-down registration cost for ``num_pages`` pages."""
+        return self.reg_base_ns + self.reg_per_page_ns * num_pages
+
+    def without_quirks(self) -> "DeviceProfile":
+        """A copy with the damming flaw disabled and a fast, non-starving
+        status engine — the idealised ODP device used by ablations."""
+        return replace(
+            self,
+            damming_flaw=False,
+            status_resume_ns=200,
+            status_congestion_gamma=0.0,
+            notes=self.notes + " [quirks disabled]",
+        )
+
+
+#: Device models keyed by marketing name.  ``min_cack`` encodes Figure 2's
+#: floors: ~30 ms for ConnectX-5 (2^12 * 4.096 us * 1.87 = 31 ms) and
+#: ~500 ms for the rest (2^16 * 4.096 us * 1.87 = 502 ms).
+_DEVICES: Dict[str, DeviceProfile] = {}
+
+
+def _register(profile: DeviceProfile) -> DeviceProfile:
+    _DEVICES[profile.model] = profile
+    return profile
+
+
+CONNECTX3 = _register(DeviceProfile(
+    model="ConnectX-3",
+    rate="FDR",
+    min_cack=16,
+    odp_capable=False,
+    notes="mlx4 generation; no ODP support, used for timeout measurements",
+))
+
+CONNECTX4 = _register(DeviceProfile(
+    model="ConnectX-4",
+    rate="FDR",
+    min_cack=16,
+    damming_flaw=True,
+    notes="mlx5; exhibits packet damming (vendor-confirmed CX-4 specific) "
+          "and packet flood",
+))
+
+CONNECTX4_EDR = _register(replace(
+    CONNECTX4, model="ConnectX-4 EDR", rate="EDR",
+))
+
+CONNECTX5 = _register(DeviceProfile(
+    model="ConnectX-5",
+    rate="EDR",
+    min_cack=12,
+    damming_flaw=False,
+    notes="timeout floor ~30 ms (min C_ACK 12); damming not observed",
+))
+
+CONNECTX6 = _register(DeviceProfile(
+    model="ConnectX-6",
+    rate="HDR",
+    min_cack=16,
+    damming_flaw=False,
+    notes="damming vanished in later models, but packet flood persists "
+          "(confirmed in the author's thesis [31])",
+))
+
+
+def get_device(model: str) -> DeviceProfile:
+    """Look up a device profile by model name."""
+    try:
+        return _DEVICES[model]
+    except KeyError:
+        raise KeyError(
+            f"unknown device model {model!r}; known: {sorted(_DEVICES)}"
+        ) from None
+
+
+def list_devices() -> List[str]:
+    """All registered model names."""
+    return sorted(_DEVICES)
+
+
+# ----------------------------------------------------------------------
+# Table I: the systems of the paper and their RNICs.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SystemInfo:
+    """One row of the paper's Table I."""
+
+    name: str
+    psid: str
+    device: DeviceProfile
+    rate_label: str
+    driver_version: str
+    firmware_version: str
+
+
+TABLE1_SYSTEMS: Tuple[SystemInfo, ...] = (
+    SystemInfo("Private servers A", "MT_1100120019", CONNECTX3,
+               "56Gbps FDR", "5.0-2.1.8.0", "2.42.5000"),
+    SystemInfo("Private servers B", "MT_2170111021", CONNECTX4,
+               "56Gbps FDR", "5.0-2.1.8.0", "12.27.1016"),
+    SystemInfo("Reedbush-H", "MT_2160110021", CONNECTX4,
+               "56Gbps FDR", "4.5-0.1.0", "12.24.1000"),
+    SystemInfo("Reedbush-L", "MT_2180110032", CONNECTX4_EDR,
+               "100Gbps EDR", "4.5-0.1.0", "12.24.1000"),
+    SystemInfo("ABCI", "MT_0000000095", CONNECTX4_EDR,
+               "100Gbps EDR", "4.4-1.0.0", "12.21.1000"),
+    SystemInfo("ITO", "FJT2180110032", CONNECTX4_EDR,
+               "100Gbps EDR", "4.4-1.0.0", "12.23.1020"),
+    SystemInfo("Azure VM HCr Series", "MT_0000000010", CONNECTX5,
+               "100Gbps EDR", "4.7-3.2.9", "16.26.0206"),
+    SystemInfo("Azure VM HBv2 Series", "MT_0000000223", CONNECTX6,
+               "200Gbps HDR", "5.0-2.1.8.0", "20.26.6200"),
+)
+
+
+def get_system(name: str) -> SystemInfo:
+    """Look up a Table I system by name."""
+    for system in TABLE1_SYSTEMS:
+        if system.name == name:
+            return system
+    raise KeyError(f"unknown system {name!r}; known: "
+                   f"{[s.name for s in TABLE1_SYSTEMS]}")

@@ -1,0 +1,18 @@
+"""On-Demand Paging machinery inside the simulated RNIC.
+
+Three cooperating pieces:
+
+* :class:`repro.ib.odp.translation.NicTranslationTable` — the NIC's
+  virtual-to-physical mapping state per (MR, page),
+* :class:`repro.ib.odp.status_engine.PageStatusEngine` — the per-QP
+  page-status update engine whose congestion under many simultaneous
+  faults produces *packet flood* (Section VI),
+* :class:`repro.ib.odp.coordinator.OdpCoordinator` — glue between the
+  transport state machines, the driver fault path, and the two above.
+"""
+
+from repro.ib.odp.coordinator import OdpCoordinator
+from repro.ib.odp.status_engine import PageStatusEngine
+from repro.ib.odp.translation import NicTranslationTable
+
+__all__ = ["OdpCoordinator", "PageStatusEngine", "NicTranslationTable"]

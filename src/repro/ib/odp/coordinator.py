@@ -1,0 +1,193 @@
+"""Glue between transport state machines, driver faults, and page status.
+
+Server side (responder) is *stateless*, exactly as the paper deduces in
+Section VI-C: every arriving request simply consults the translation
+table; a miss raises a fault (coalesced by the driver) and the responder
+answers RNR NAK.  Once the driver installs the translation, the next
+retransmission succeeds — no per-QP state involved.
+
+Client side (requester) is *stateful*: each QP holds its own cached view
+of page statuses.  Inbound READ data is only accepted when the global
+translation exists *and* the per-QP view has the page; populating a QP's
+view is serial work for the device's
+:class:`~repro.ib.odp.status_engine.PageStatusEngine`, whose congestion
+under many simultaneous faults is the packet-flood window: the
+translation table can be long since updated while a QP's view is still
+cold, and the QP keeps blindly retransmitting and discarding responses
+("update failure of page statuses", Section VI-B).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.future import Future, all_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ib.rnic import Rnic
+    from repro.ib.verbs.mr import MemoryRegion
+
+QpPageKey = Tuple[int, int, int]  # (qpn, mr.handle, page)
+PageKey = Tuple[int, int]         # (mr.handle, page)
+
+
+class OdpCoordinator:
+    """Per-RNIC ODP bookkeeping."""
+
+    def __init__(self, sim: Simulator, rnic: "Rnic"):
+        self.sim = sim
+        self.rnic = rnic
+        #: per-QP page-status views: keys present = page usable by QP
+        self._view: Set[QpPageKey] = set()
+        self._view_by_page: Dict[PageKey, Set[int]] = {}
+        #: (QP, page) updates requested but not yet processed
+        self._stale: Set[QpPageKey] = set()
+        self._stale_by_qpn: Dict[int, int] = {}
+        self._fresh_futures: Dict[QpPageKey, Future] = {}
+        self.client_faults = 0
+        self.server_faults = 0
+        rnic.status_engine.load_fn = self.retransmit_load
+
+    # ------------------------------------------------------------------
+    # Responder (server-side ODP): stateless translation checks
+    # ------------------------------------------------------------------
+
+    def responder_range_ready(self, mr: "MemoryRegion", addr: int, size: int) -> bool:
+        """Can the responder DMA this range right now?"""
+        return self.rnic.translation.range_mapped(mr, addr, size)
+
+    def responder_raise_faults(self, mr: "MemoryRegion", addr: int, size: int) -> None:
+        """Raise (coalesced) faults for the unmapped pages of the range."""
+        for page in self.rnic.translation.missing_pages(mr, addr, size):
+            self.server_faults += 1
+            self.rnic.driver.request_fault(self.rnic, mr, page)
+
+    # ------------------------------------------------------------------
+    # Requester (client-side ODP): stateful per-QP views
+    # ------------------------------------------------------------------
+
+    def requester_range_ready(self, qpn: int, mr: "MemoryRegion",
+                              addr: int, size: int) -> bool:
+        """Can QP ``qpn`` use this local range right now?
+
+        Requires both a valid translation *and* the page in the QP's own
+        status view.
+        """
+        for page in mr.pages_of_range(addr, size):
+            if not self.rnic.translation.is_mapped(mr, page):
+                return False
+            if (qpn, mr.handle, page) not in self._view:
+                return False
+        return True
+
+    def requester_wait_fresh(self, qpn: int, mr: "MemoryRegion",
+                             addr: int, size: int) -> Future:
+        """Raise faults for the range on behalf of ``qpn`` and return a
+        future resolving when every page is mapped *and* in its view."""
+        futures: List[Future] = []
+        for page in mr.pages_of_range(addr, size):
+            futures.append(self._page_fresh(qpn, mr, page))
+        return all_of(futures, label=f"fresh:qp{qpn}")
+
+    def _page_fresh(self, qpn: int, mr: "MemoryRegion", page: int) -> Future:
+        key = (qpn, mr.handle, page)
+        existing = self._fresh_futures.get(key)
+        if existing is not None and not existing.done:
+            return existing
+        if self.rnic.translation.is_mapped(mr, page) and key in self._view:
+            ready = Future(label=f"fresh:{key}")
+            ready.resolve(page)
+            return ready
+        # The QP's view is cold (or invalidated): an engine update is
+        # needed, preceded by a driver fault when the translation itself
+        # is missing.
+        self._stale.add(key)
+        self._stale_by_qpn[qpn] = self._stale_by_qpn.get(qpn, 0) + 1
+        self.client_faults += 1
+        fresh = Future(label=f"fresh:{key}")
+        self._fresh_futures[key] = fresh
+        if self.rnic.translation.is_mapped(mr, page):
+            self.rnic.status_engine.enqueue_resume(
+                qpn, mr.handle, page, lambda: self._on_resume(key, fresh))
+        else:
+            fault_done = self.rnic.driver.request_fault(self.rnic, mr, page)
+            fault_done.add_callback(
+                lambda _f: self.rnic.status_engine.enqueue_resume(
+                    qpn, mr.handle, page,
+                    lambda: self._on_resume(key, fresh))
+            )
+        return fresh
+
+    def _on_resume(self, key: QpPageKey, fresh: Future) -> None:
+        if key in self._stale:
+            self._stale.remove(key)
+            qpn = key[0]
+            remaining = self._stale_by_qpn.get(qpn, 0) - 1
+            if remaining <= 0:
+                self._stale_by_qpn.pop(qpn, None)
+            else:
+                self._stale_by_qpn[qpn] = remaining
+        self._view.add(key)
+        self._view_by_page.setdefault((key[1], key[2]), set()).add(key[0])
+        self._fresh_futures.pop(key, None)
+        fresh.resolve(key[2])
+
+    # ------------------------------------------------------------------
+    # Prefetch / prewarm
+    # ------------------------------------------------------------------
+
+    def advise_range(self, mr: "MemoryRegion", addr: int, size: int) -> None:
+        """``ibv_advise_mr``-style prefetch: resolve translations for the
+        range ahead of traffic (the receiver-side prefetch that Li et
+        al. [20] found effective).  Per-QP views are *not* touched —
+        each QP still pays its first status update."""
+        for page in self.rnic.translation.missing_pages(mr, addr, size):
+            self.rnic.driver.request_fault(self.rnic, mr, page)
+
+    def prewarm_views(self, qpns, mr: "MemoryRegion",
+                      addr: int, size: int) -> None:
+        """Mark the range warm for the given QPs, modelling earlier
+        traffic that already populated both the translation table and
+        the per-QP status views (e.g. prior job stages)."""
+        for page in mr.pages_of_range(addr, size):
+            mr.vm._restore_or_materialise(page)  # noqa: SLF001
+            self.rnic.translation.map_page(mr, page)
+            for qpn in qpns:
+                key = (qpn, mr.handle, page)
+                self._view.add(key)
+                self._view_by_page.setdefault((mr.handle, page),
+                                              set()).add(qpn)
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def on_page_invalidated(self, mr: "MemoryRegion", page: int) -> None:
+        """Purge every QP's view of an invalidated page."""
+        qpns = self._view_by_page.pop((mr.handle, page), None)
+        if not qpns:
+            return
+        for qpn in qpns:
+            self._view.discard((qpn, mr.handle, page))
+
+    # ------------------------------------------------------------------
+
+    def stale_entries(self) -> int:
+        """Number of (QP, page) views currently stale (flood intensity)."""
+        return len(self._stale)
+
+    def stale_qp_count(self) -> int:
+        """Distinct QPs with at least one stale page view."""
+        return len(self._stale_by_qpn)
+
+    def retransmit_load(self) -> int:
+        """Retransmission pressure: outstanding READ window summed over
+        stale QPs (feeds the status engine's congestion law)."""
+        load = 0
+        for qpn in self._stale_by_qpn:
+            qp = self.rnic._qps.get(qpn)  # noqa: SLF001 - same device
+            if qp is None:
+                continue
+            load += min(qp.requester.outstanding, qp.attrs.max_rd_atomic)
+        return load

@@ -1,0 +1,71 @@
+"""The NIC's translation table.
+
+Tracks, per (memory region, page), whether the RNIC holds a valid
+virtual-to-physical mapping.  Pinned registrations populate their whole
+range at registration time; ODP registrations start empty and fill in as
+the driver resolves network page faults.  Kernel reclaim flushes entries
+through :meth:`unmap_page`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ib.verbs.mr import MemoryRegion
+
+PageKey = Tuple[int, int]  # (mr.handle, page index)
+
+
+class NicTranslationTable:
+    """Per-RNIC mapping state."""
+
+    def __init__(self) -> None:
+        self._mapped: Set[PageKey] = set()
+        self.map_events = 0
+        self.unmap_events = 0
+
+    def is_mapped(self, mr: "MemoryRegion", page: int) -> bool:
+        """True when the NIC can translate ``page`` of ``mr``."""
+        return (mr.handle, page) in self._mapped
+
+    def range_mapped(self, mr: "MemoryRegion", addr: int, size: int) -> bool:
+        """True when every page of ``[addr, addr+size)`` is mapped."""
+        return all(self.is_mapped(mr, page)
+                   for page in mr.pages_of_range(addr, size))
+
+    def missing_pages(self, mr: "MemoryRegion", addr: int, size: int) -> List[int]:
+        """Pages of the range the NIC cannot translate."""
+        return [page for page in mr.pages_of_range(addr, size)
+                if not self.is_mapped(mr, page)]
+
+    def map_page(self, mr: "MemoryRegion", page: int) -> None:
+        """Install a translation (driver fault resolution)."""
+        key = (mr.handle, page)
+        if key not in self._mapped:
+            self._mapped.add(key)
+            self.map_events += 1
+
+    def map_range(self, mr: "MemoryRegion", addr: int, size: int) -> None:
+        """Install translations for a whole range (pinned registration)."""
+        for page in mr.pages_of_range(addr, size):
+            self.map_page(mr, page)
+
+    def unmap_page(self, mr: "MemoryRegion", page: int) -> None:
+        """Flush a translation (invalidation)."""
+        key = (mr.handle, page)
+        if key in self._mapped:
+            self._mapped.remove(key)
+            self.unmap_events += 1
+
+    def unmap_all(self, mr: "MemoryRegion") -> int:
+        """Flush every entry of ``mr`` (deregistration); returns count."""
+        keys = [key for key in self._mapped if key[0] == mr.handle]
+        for key in keys:
+            self._mapped.remove(key)
+        self.unmap_events += len(keys)
+        return len(keys)
+
+    def mapped_pages(self) -> int:
+        """Total mapped entries (NIC-side spatial cost metric)."""
+        return len(self._mapped)

@@ -1,0 +1,82 @@
+"""Opcodes and AETH syndromes for the RC transport.
+
+The names follow the InfiniBand Architecture Specification's Base
+Transport Header opcode table (restricted to the Reliable Connection
+opcodes this model uses).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+
+
+@unique
+class Opcode(Enum):
+    """BTH opcodes (RC subset, plus the ACK opcode)."""
+
+    SEND_FIRST = "SEND_FIRST"
+    SEND_MIDDLE = "SEND_MIDDLE"
+    SEND_LAST = "SEND_LAST"
+    SEND_ONLY = "SEND_ONLY"
+    RDMA_WRITE_FIRST = "RDMA_WRITE_FIRST"
+    RDMA_WRITE_MIDDLE = "RDMA_WRITE_MIDDLE"
+    RDMA_WRITE_LAST = "RDMA_WRITE_LAST"
+    RDMA_WRITE_ONLY = "RDMA_WRITE_ONLY"
+    RDMA_READ_REQUEST = "RDMA_READ_REQUEST"
+    RDMA_READ_RESPONSE_FIRST = "RDMA_READ_RESPONSE_FIRST"
+    RDMA_READ_RESPONSE_MIDDLE = "RDMA_READ_RESPONSE_MIDDLE"
+    RDMA_READ_RESPONSE_LAST = "RDMA_READ_RESPONSE_LAST"
+    RDMA_READ_RESPONSE_ONLY = "RDMA_READ_RESPONSE_ONLY"
+    ACKNOWLEDGE = "ACKNOWLEDGE"
+    ATOMIC_ACKNOWLEDGE = "ATOMIC_ACKNOWLEDGE"
+    COMPARE_SWAP = "COMPARE_SWAP"
+    FETCH_ADD = "FETCH_ADD"
+
+
+#: Request opcodes that start a new message at the responder.
+REQUEST_OPCODES = frozenset({
+    Opcode.SEND_FIRST, Opcode.SEND_MIDDLE, Opcode.SEND_LAST, Opcode.SEND_ONLY,
+    Opcode.RDMA_WRITE_FIRST, Opcode.RDMA_WRITE_MIDDLE,
+    Opcode.RDMA_WRITE_LAST, Opcode.RDMA_WRITE_ONLY,
+    Opcode.RDMA_READ_REQUEST, Opcode.COMPARE_SWAP, Opcode.FETCH_ADD,
+})
+
+#: Response opcodes travelling responder -> requester.
+RESPONSE_OPCODES = frozenset({
+    Opcode.RDMA_READ_RESPONSE_FIRST, Opcode.RDMA_READ_RESPONSE_MIDDLE,
+    Opcode.RDMA_READ_RESPONSE_LAST, Opcode.RDMA_READ_RESPONSE_ONLY,
+    Opcode.ACKNOWLEDGE, Opcode.ATOMIC_ACKNOWLEDGE,
+})
+
+#: READ response opcodes (carry payload back to the requester).
+READ_RESPONSE_OPCODES = frozenset({
+    Opcode.RDMA_READ_RESPONSE_FIRST, Opcode.RDMA_READ_RESPONSE_MIDDLE,
+    Opcode.RDMA_READ_RESPONSE_LAST, Opcode.RDMA_READ_RESPONSE_ONLY,
+})
+
+
+@unique
+class Syndrome(Enum):
+    """AETH syndrome classes carried by ACK/NAK packets."""
+
+    ACK = "ACK"
+    RNR_NAK = "RNR_NAK"
+    NAK_PSN_SEQ_ERR = "NAK_PSN_SEQ_ERR"
+    NAK_INVALID_REQUEST = "NAK_INVALID_REQUEST"
+    NAK_REMOTE_ACCESS_ERR = "NAK_REMOTE_ACCESS_ERR"
+    NAK_REMOTE_OP_ERR = "NAK_REMOTE_OP_ERR"
+
+
+def is_request(opcode: Opcode) -> bool:
+    """True for packets flowing requester -> responder."""
+    return opcode in REQUEST_OPCODES
+
+
+def is_response(opcode: Opcode) -> bool:
+    """True for packets flowing responder -> requester."""
+    return opcode in RESPONSE_OPCODES
+
+
+def is_read_response(opcode: Opcode) -> bool:
+    """True for the READ response family."""
+    return opcode in READ_RESPONSE_OPCODES

@@ -1,0 +1,115 @@
+"""Wire-level packet records.
+
+A :class:`Packet` mirrors the headers relevant to the paper's analysis:
+the routing fields of the LRH (LIDs), the BTH (opcode, destination QP,
+PSN, ack-request bit), the RETH for RDMA operations (remote address,
+rkey, DMA length) and the AETH for acknowledgements (syndrome, RNR
+timer).  Payload bytes are carried for real so end-to-end data integrity
+can be asserted in tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ib.opcodes import Opcode, Syndrome, is_read_response, is_request
+
+# Header byte counts (LRH 8, BTH 12, ICRC 4, VCRC 2).
+BASE_HEADER_BYTES = 26
+RETH_BYTES = 16
+AETH_BYTES = 4
+ATOMIC_ETH_BYTES = 28
+
+_packet_serial = itertools.count(1)
+
+
+@dataclass
+class Reth:
+    """RDMA Extended Transport Header: where the operation targets."""
+
+    vaddr: int
+    rkey: int
+    dma_length: int
+
+
+@dataclass
+class Aeth:
+    """ACK Extended Transport Header: syndrome + message sequence number."""
+
+    syndrome: Syndrome
+    msn: int = 0
+    rnr_timer_ns: int = 0
+
+
+@dataclass
+class Packet:
+    """One InfiniBand packet on the simulated wire."""
+
+    src_lid: int
+    dst_lid: int
+    src_qpn: int
+    dst_qpn: int
+    opcode: Opcode
+    psn: int
+    ack_req: bool = False
+    payload: Optional[bytes] = None
+    reth: Optional[Reth] = None
+    aeth: Optional[Aeth] = None
+    #: Set on retransmitted request packets (observability only; real BTHs
+    #: have no such flag, but ibdump analysis infers it from PSN reuse).
+    retransmission: bool = False
+    serial: int = field(default_factory=lambda: next(_packet_serial))
+
+    @property
+    def payload_size(self) -> int:
+        """Payload byte count (0 for header-only packets)."""
+        return len(self.payload) if self.payload is not None else 0
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes on the wire, headers included."""
+        size = BASE_HEADER_BYTES + self.payload_size
+        if self.reth is not None:
+            size += RETH_BYTES
+        if self.aeth is not None:
+            size += AETH_BYTES
+        if self.opcode in (Opcode.COMPARE_SWAP, Opcode.FETCH_ADD):
+            size += ATOMIC_ETH_BYTES
+        return size
+
+    @property
+    def is_request(self) -> bool:
+        """True for requester -> responder packets."""
+        return is_request(self.opcode)
+
+    @property
+    def is_read_response(self) -> bool:
+        """True for READ response packets."""
+        return is_read_response(self.opcode)
+
+    @property
+    def is_ack(self) -> bool:
+        """True for ACK/NAK packets (AETH present, ACKNOWLEDGE opcode)."""
+        return self.opcode in (Opcode.ACKNOWLEDGE, Opcode.ATOMIC_ACKNOWLEDGE)
+
+    @property
+    def is_nak(self) -> bool:
+        """True when this is a negative acknowledgement of any kind."""
+        return self.aeth is not None and self.aeth.syndrome is not Syndrome.ACK
+
+    def describe(self) -> str:
+        """Terse human-readable form used by the capture layer."""
+        parts = [self.opcode.value, f"psn={self.psn}"]
+        if self.retransmission:
+            parts.append("retx")
+        if self.aeth is not None and self.aeth.syndrome is not Syndrome.ACK:
+            parts.append(self.aeth.syndrome.value)
+        if self.payload_size:
+            parts.append(f"{self.payload_size}B")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Packet #{self.serial} {self.describe()} "
+                f"{self.src_lid}/{self.src_qpn}->{self.dst_lid}/{self.dst_qpn}>")

@@ -1,0 +1,125 @@
+"""Pin-down cache: the classic registration-cost mitigation.
+
+Section VIII-A of the paper surveys the standard alternative to ODP:
+keep pinned registrations alive after their first use and reuse them
+("pin-down cache", Tezuka et al. [16]), deregistering in LRU order only
+when a capacity budget is exceeded; batched deregistration (Zhou et
+al. [15]) amortises the unpin cost.  Li et al. [20] compared exactly
+this against Explicit ODP.
+
+:class:`PinDownCache` implements the Tezuka scheme over the simulated
+verbs layer so benchmarks can compare the three registration policies:
+
+* register + deregister around every transfer (the naive baseline),
+* pin-down cache (this module),
+* ODP.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.host.memory import PAGE_SIZE, Region
+from repro.ib.verbs.enums import Access, OdpMode
+from repro.ib.verbs.mr import MemoryRegion
+from repro.sim.future import Future
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ib.verbs.pd import ProtectionDomain
+
+#: Host-side cost of unpinning a registration (driver + mlock teardown).
+DEREGISTRATION_NS_PER_PAGE = 400
+DEREGISTRATION_BASE_NS = 2_000
+
+CacheKey = Tuple[int, int]  # (base address, size)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_pinned: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PinDownCache:
+    """LRU cache of pinned memory registrations.
+
+    ``capacity_bytes`` bounds the total pinned footprint (the spatial
+    cost the paper's Section VIII-A discusses); exceeding it deregisters
+    least-recently-used entries, paying the unpin cost.
+    """
+
+    def __init__(self, pd: "ProtectionDomain", capacity_bytes: int,
+                 access: Access = Access.all()):
+        self.pd = pd
+        self.capacity_bytes = capacity_bytes
+        self.access = access
+        self._entries: "OrderedDict[CacheKey, MemoryRegion]" = OrderedDict()
+        self.stats = CacheStats()
+
+    @property
+    def sim(self):
+        """The owning simulator."""
+        return self.pd.rnic.sim
+
+    def acquire(self, region: Region) -> Future:
+        """Return (a future of) a ready MR covering ``region``.
+
+        A hit reuses the pinned registration instantly; a miss registers
+        (paying the pinning cost) and may evict LRU entries to respect
+        the capacity budget.
+        """
+        key = (region.base, region.size)
+        entry = self._entries.get(key)
+        done = Future(label=f"regcache:{key}")
+        if entry is not None and not entry.deregistered:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            done.resolve(entry)
+            return done
+        self.stats.misses += 1
+        self._evict_to_fit(region.size)
+        mr = self.pd.reg_mr(region, self.access, odp=OdpMode.PINNED)
+        self._entries[key] = mr
+        self.stats.bytes_pinned += region.size
+        mr.ready.add_callback(lambda _f: done.resolve(mr))
+        return done
+
+    def _evict_to_fit(self, incoming: int) -> None:
+        while self._entries and \
+                self.stats.bytes_pinned + incoming > self.capacity_bytes:
+            _key, victim = self._entries.popitem(last=False)  # LRU
+            self._deregister(victim)
+
+    def _deregister(self, mr: MemoryRegion) -> None:
+        pages = len(mr.region.pages())
+        cost = DEREGISTRATION_BASE_NS + pages * DEREGISTRATION_NS_PER_PAGE
+        self.stats.evictions += 1
+        self.stats.bytes_pinned -= mr.region.size
+        # The unpin happens asynchronously (batched deregistration would
+        # coalesce several of these; we charge each individually).
+        self.sim.schedule(cost, mr.dereg)
+
+    def flush(self) -> int:
+        """Deregister everything; returns the number of entries dropped."""
+        count = len(self._entries)
+        while self._entries:
+            _key, victim = self._entries.popitem(last=False)
+            self._deregister(victim)
+        return count
+
+    @property
+    def resident_entries(self) -> int:
+        """Registrations currently cached."""
+        return len(self._entries)

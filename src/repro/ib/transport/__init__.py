@@ -1,0 +1,15 @@
+"""Reliable Connection transport state machines.
+
+:mod:`repro.ib.transport.requester` drives the send queue: PSN
+assignment, go-back-N retransmission, the Local ACK Timeout / Retry
+Count machinery, RNR NAK waits, and the client-side ODP
+discard-and-blind-retransmit loop.
+
+:mod:`repro.ib.transport.responder` executes arriving requests: ePSN
+tracking, duplicate-READ replay, PSN-sequence-error NAKs, server-side
+ODP RNR NAKs — and the ConnectX-4 damming flaw.
+"""
+
+from repro.ib.transport.psn import PSN_MASK, psn_add, psn_cmp, psn_diff
+
+__all__ = ["PSN_MASK", "psn_add", "psn_cmp", "psn_diff"]

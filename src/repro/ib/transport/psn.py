@@ -1,0 +1,35 @@
+"""24-bit Packet Sequence Number arithmetic.
+
+PSNs live in a 24-bit space and compare within a half-window, exactly as
+the InfiniBand specification prescribes: ``a`` is "before" ``b`` when the
+forward distance from ``a`` to ``b`` is less than 2^23.
+"""
+
+from __future__ import annotations
+
+PSN_BITS = 24
+PSN_MASK = (1 << PSN_BITS) - 1
+_HALF = 1 << (PSN_BITS - 1)
+
+
+def psn_add(psn: int, delta: int) -> int:
+    """Advance ``psn`` by ``delta`` modulo 2^24."""
+    return (psn + delta) & PSN_MASK
+
+
+def psn_diff(a: int, b: int) -> int:
+    """Signed smallest distance ``a - b`` in PSN space (range ±2^23)."""
+    diff = (a - b) & PSN_MASK
+    if diff >= _HALF:
+        diff -= 1 << PSN_BITS
+    return diff
+
+
+def psn_cmp(a: int, b: int) -> int:
+    """-1 / 0 / +1 when ``a`` is before / equal to / after ``b``."""
+    diff = psn_diff(a, b)
+    if diff < 0:
+        return -1
+    if diff > 0:
+        return 1
+    return 0

@@ -1,0 +1,378 @@
+"""The RC responder (receive-side) state machine.
+
+Implements ePSN tracking, execution of READ/WRITE/SEND/ATOMIC requests,
+duplicate-request replay, PSN-sequence-error NAKs, and the two ODP
+behaviours of Section IV:
+
+* **server-side ODP** — an arriving request whose target pages are not in
+  the NIC translation table raises a (coalesced) network page fault and
+  is answered with an RNR NAK; the responder keeps *no* per-packet state
+  ("the server is stateless", Section VI-C) and the requester's
+  retransmission eventually finds the page mapped;
+* **the ConnectX-4 damming flaw** — after servicing a *replayed* request
+  (either a duplicate or a request previously RNR-NAKed because of a
+  fault), new requests arriving back-to-back within a tiny window are
+  silently discarded without a NAK and without advancing the ePSN.  This
+  single defect makes every damming observation of Section V emerge:
+  the lost second READ (Fig. 5), the interval ranges tracking the RNR
+  delay and the 0.5 ms client retransmission period (Fig. 6), and the
+  NAK(PSN sequence error) fast-recovery with 3+ operations (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Set
+
+from collections import deque
+
+from repro.ib.opcodes import Opcode, Syndrome
+from repro.ib.packets import Aeth, Packet
+from repro.ib.transport.psn import psn_add, psn_diff
+from repro.ib.verbs.enums import Access, QpState, WcOpcode, WcStatus
+from repro.ib.verbs.wr import RecvRequest, WorkCompletion
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ib.verbs.mr import MemoryRegion
+    from repro.ib.verbs.qp import QueuePair
+
+_WRITE_OPS = {Opcode.RDMA_WRITE_FIRST, Opcode.RDMA_WRITE_MIDDLE,
+              Opcode.RDMA_WRITE_LAST, Opcode.RDMA_WRITE_ONLY}
+_SEND_OPS = {Opcode.SEND_FIRST, Opcode.SEND_MIDDLE,
+             Opcode.SEND_LAST, Opcode.SEND_ONLY}
+
+
+class _MessageAssembly:
+    """Reassembly state for an in-progress multi-packet WRITE/SEND."""
+
+    __slots__ = ("mr", "addr", "offset", "recv_wr_id", "is_send")
+
+    def __init__(self, mr: "MemoryRegion", addr: int,
+                 recv_wr_id: Optional[int], is_send: bool):
+        self.mr = mr
+        self.addr = addr
+        self.offset = 0
+        self.recv_wr_id = recv_wr_id
+        self.is_send = is_send
+
+
+class Responder:
+    """Receive-side transport logic for one QP."""
+
+    def __init__(self, qp: "QueuePair"):
+        self.qp = qp
+        self.sim = qp.rnic.sim
+        self.epsn = 0  # set by QueuePair.connect
+        self.msn = 0
+        self.recv_queue: Deque[RecvRequest] = deque()
+        self._faulted_psns: Set[int] = set()
+        self._highest_seen_psn: Optional[int] = None
+        self._flaw_drop_until = -1
+        self._seq_nak_outstanding = False
+        self._assembly: Optional[_MessageAssembly] = None
+        self._atomic_cache: Dict[int, bytes] = {}
+        # statistics
+        self.requests_executed = 0
+        self.duplicates_serviced = 0
+        self.flaw_drops = 0
+        self.rnr_naks_sent = 0
+        self.seq_naks_sent = 0
+
+    # ------------------------------------------------------------------
+
+    def post_recv(self, rr: RecvRequest) -> None:
+        """Post a receive buffer for inbound SENDs."""
+        self.recv_queue.append(rr)
+
+    def on_packet(self, packet: Packet) -> None:
+        """Entry point for requester->responder packets."""
+        if self.qp.state is QpState.ERROR:
+            return
+        diff = psn_diff(packet.psn, self.epsn)
+        flaw = self.qp.rnic.profile.damming_flaw
+        if flaw and diff >= 0 and not self._seen(packet.psn) \
+                and self.sim.now < self._flaw_drop_until:
+            # The ConnectX-4 defect: a never-before-seen request
+            # tailgating a replayed one inside the same burst vanishes
+            # without a trace (dropped before PSN tracking, so it stays
+            # "unseen" for later bursts and the dam holds).
+            self.flaw_drops += 1
+            self.qp.rnic.stats["flaw_drops"] += 1
+            return
+        self._note_seen(packet.psn)
+        if diff == 0:
+            self._execute_new(packet)
+        elif diff < 0:
+            self._handle_duplicate(packet)
+        else:
+            self._send_seq_nak()
+
+    # ------------------------------------------------------------------
+    # New requests
+    # ------------------------------------------------------------------
+
+    def _execute_new(self, packet: Packet) -> None:
+        opcode = packet.opcode
+        if opcode is Opcode.RDMA_READ_REQUEST:
+            self._execute_read(packet, duplicate=False)
+        elif opcode in _WRITE_OPS:
+            self._execute_write(packet)
+        elif opcode in _SEND_OPS:
+            self._execute_send(packet)
+        elif opcode in (Opcode.COMPARE_SWAP, Opcode.FETCH_ADD):
+            self._execute_atomic(packet)
+
+    def _execute_read(self, packet: Packet, duplicate: bool) -> None:
+        reth = packet.reth
+        mr = self._validate(reth.rkey, reth.vaddr, reth.dma_length,
+                            Access.REMOTE_READ)
+        if mr is None:
+            self._send_fatal_nak(Syndrome.NAK_REMOTE_ACCESS_ERR, packet.psn)
+            return
+        odp = self.qp.rnic.odp
+        if mr.mode.is_odp and not odp.responder_range_ready(
+                mr, reth.vaddr, reth.dma_length):
+            odp.responder_raise_faults(mr, reth.vaddr, reth.dma_length)
+            self._faulted_psns.add(packet.psn)
+            self._send_rnr_nak(packet.psn)
+            return
+        replay = duplicate or packet.psn in self._faulted_psns
+        self._faulted_psns.discard(packet.psn)
+        data = mr.vm.read(reth.vaddr, reth.dma_length)
+        mtu = self.qp.rnic.profile.mtu
+        chunks = [data[i:i + mtu] for i in range(0, len(data), mtu)] or [b""]
+        for index, chunk in enumerate(chunks):
+            self._send_response(self._read_opcode(index, len(chunks)),
+                                psn_add(packet.psn, index), chunk)
+        if not duplicate:
+            self.epsn = psn_add(packet.psn, len(chunks))
+            self.msn += 1
+            self.requests_executed += 1
+            self._seq_nak_outstanding = False
+        else:
+            self.duplicates_serviced += 1
+        if replay:
+            self._arm_flaw_window()
+
+    @staticmethod
+    def _read_opcode(index: int, total: int) -> Opcode:
+        if total == 1:
+            return Opcode.RDMA_READ_RESPONSE_ONLY
+        if index == 0:
+            return Opcode.RDMA_READ_RESPONSE_FIRST
+        if index == total - 1:
+            return Opcode.RDMA_READ_RESPONSE_LAST
+        return Opcode.RDMA_READ_RESPONSE_MIDDLE
+
+    def _execute_write(self, packet: Packet) -> None:
+        opcode = packet.opcode
+        starting = opcode in (Opcode.RDMA_WRITE_FIRST, Opcode.RDMA_WRITE_ONLY)
+        if starting:
+            reth = packet.reth
+            mr = self._validate(reth.rkey, reth.vaddr, reth.dma_length,
+                                Access.REMOTE_WRITE)
+            if mr is None:
+                self._send_fatal_nak(Syndrome.NAK_REMOTE_ACCESS_ERR, packet.psn)
+                return
+            assembly = _MessageAssembly(mr, reth.vaddr, None, is_send=False)
+        else:
+            assembly = self._assembly
+            if assembly is None or assembly.is_send:
+                self._send_fatal_nak(Syndrome.NAK_INVALID_REQUEST, packet.psn)
+                return
+        self._continue_message(packet, assembly, starting)
+
+    def _execute_send(self, packet: Packet) -> None:
+        opcode = packet.opcode
+        starting = opcode in (Opcode.SEND_FIRST, Opcode.SEND_ONLY)
+        if starting:
+            if not self.recv_queue:
+                # The classic Receiver-Not-Ready condition.
+                self._faulted_psns.add(packet.psn)
+                self._send_rnr_nak(packet.psn, fault=False)
+                return
+            rr = self.recv_queue[0]
+            assembly = _MessageAssembly(rr.local.mr, rr.local.addr,
+                                        rr.wr_id, is_send=True)
+        else:
+            assembly = self._assembly
+            if assembly is None or not assembly.is_send:
+                self._send_fatal_nak(Syndrome.NAK_INVALID_REQUEST, packet.psn)
+                return
+        self._continue_message(packet, assembly, starting)
+
+    def _continue_message(self, packet: Packet, assembly: _MessageAssembly,
+                          starting: bool) -> None:
+        payload = packet.payload or b""
+        target_addr = assembly.addr + assembly.offset
+        mr = assembly.mr
+        odp = self.qp.rnic.odp
+        if mr.mode.is_odp and payload and not odp.responder_range_ready(
+                mr, target_addr, len(payload)):
+            odp.responder_raise_faults(mr, target_addr, len(payload))
+            self._faulted_psns.add(packet.psn)
+            self._send_rnr_nak(packet.psn)
+            return
+        replay = packet.psn in self._faulted_psns
+        self._faulted_psns.discard(packet.psn)
+        if payload:
+            mr.vm.write(target_addr, payload)
+        last = packet.opcode in (Opcode.RDMA_WRITE_LAST, Opcode.RDMA_WRITE_ONLY,
+                                 Opcode.SEND_LAST, Opcode.SEND_ONLY)
+        if starting and assembly.is_send:
+            self.recv_queue.popleft()
+        assembly.offset += len(payload)
+        self._assembly = None if last else assembly
+        self.epsn = psn_add(packet.psn, 1)
+        self.requests_executed += 1
+        self._seq_nak_outstanding = False
+        if last:
+            self.msn += 1
+            self._send_ack(packet.psn)
+            if assembly.is_send:
+                self.qp.recv_cq.push(WorkCompletion(
+                    wr_id=assembly.recv_wr_id,
+                    status=WcStatus.SUCCESS,
+                    opcode=WcOpcode.RECV,
+                    byte_len=assembly.offset,
+                    qp_num=self.qp.qpn,
+                    completed_at=self.sim.now,
+                ))
+        if replay:
+            self._arm_flaw_window()
+
+    def _execute_atomic(self, packet: Packet) -> None:
+        reth = packet.reth
+        mr = self._validate(reth.rkey, reth.vaddr, 8, Access.REMOTE_ATOMIC)
+        if mr is None:
+            self._send_fatal_nak(Syndrome.NAK_REMOTE_ACCESS_ERR, packet.psn)
+            return
+        odp = self.qp.rnic.odp
+        if mr.mode.is_odp and not odp.responder_range_ready(mr, reth.vaddr, 8):
+            odp.responder_raise_faults(mr, reth.vaddr, 8)
+            self._faulted_psns.add(packet.psn)
+            self._send_rnr_nak(packet.psn)
+            return
+        replay = packet.psn in self._faulted_psns
+        self._faulted_psns.discard(packet.psn)
+        original = mr.vm.read(reth.vaddr, 8)
+        value = int.from_bytes(original, "little")
+        operand = int.from_bytes(packet.payload[:8], "little")
+        if packet.opcode is Opcode.FETCH_ADD:
+            new_value = (value + operand) & (2 ** 64 - 1)
+        else:  # COMPARE_SWAP
+            swap = int.from_bytes(packet.payload[8:16], "little")
+            new_value = swap if value == operand else value
+        mr.vm.write(reth.vaddr, new_value.to_bytes(8, "little"))
+        self._atomic_cache[packet.psn] = original
+        self._send_response(Opcode.ATOMIC_ACKNOWLEDGE, packet.psn, original,
+                            aeth=Aeth(Syndrome.ACK, self.msn))
+        self.epsn = psn_add(packet.psn, 1)
+        self.msn += 1
+        self.requests_executed += 1
+        self._seq_nak_outstanding = False
+        if replay:
+            self._arm_flaw_window()
+
+    # ------------------------------------------------------------------
+    # Duplicates and sequence errors
+    # ------------------------------------------------------------------
+
+    def _handle_duplicate(self, packet: Packet) -> None:
+        opcode = packet.opcode
+        if opcode is Opcode.RDMA_READ_REQUEST:
+            # The spec permits re-execution of duplicate READs; the
+            # replayed service arms the flaw window (client-side damming).
+            self._execute_read(packet, duplicate=True)
+            return
+        if opcode in (Opcode.COMPARE_SWAP, Opcode.FETCH_ADD):
+            cached = self._atomic_cache.get(packet.psn)
+            if cached is not None:
+                self.duplicates_serviced += 1
+                self._send_response(Opcode.ATOMIC_ACKNOWLEDGE, packet.psn,
+                                    cached, aeth=Aeth(Syndrome.ACK, self.msn))
+                self._arm_flaw_window()
+            return
+        # Duplicate WRITE/SEND segment: confirm progress with an ACK on
+        # the last/only packet, ignore the payload.
+        if opcode in (Opcode.RDMA_WRITE_LAST, Opcode.RDMA_WRITE_ONLY,
+                      Opcode.SEND_LAST, Opcode.SEND_ONLY):
+            self.duplicates_serviced += 1
+            self._send_ack(psn_add(self.epsn, -1))
+            self._arm_flaw_window()
+
+    def _send_seq_nak(self) -> None:
+        if self._seq_nak_outstanding:
+            return
+        self._seq_nak_outstanding = True
+        self.seq_naks_sent += 1
+        self.qp.rnic.stats["seq_naks"] += 1
+        self._send_response(Opcode.ACKNOWLEDGE, self.epsn, None,
+                            aeth=Aeth(Syndrome.NAK_PSN_SEQ_ERR, self.msn))
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _seen(self, psn: int) -> bool:
+        if self._highest_seen_psn is None:
+            return False
+        return psn_diff(psn, self._highest_seen_psn) <= 0
+
+    def _note_seen(self, psn: int) -> None:
+        if self._highest_seen_psn is None \
+                or psn_diff(psn, self._highest_seen_psn) > 0:
+            self._highest_seen_psn = psn
+
+    def _arm_flaw_window(self) -> None:
+        if self.qp.rnic.profile.damming_flaw:
+            window = self.qp.rnic.profile.damming_window_ns
+            self._flaw_drop_until = self.sim.now + window
+
+    def _validate(self, rkey: int, addr: int, size: int,
+                  needed: Access) -> Optional["MemoryRegion"]:
+        mr = self.qp.rnic.mr_by_rkey(rkey)
+        if mr is None or mr.deregistered:
+            return None
+        if not mr.contains(addr, size):
+            return None
+        if needed not in mr.access:
+            return None
+        return mr
+
+    def _send_rnr_nak(self, psn: int, fault: bool = True) -> None:
+        self.rnr_naks_sent += 1
+        self.qp.rnic.stats["rnr_naks"] += 1
+        aeth = Aeth(Syndrome.RNR_NAK, self.msn,
+                    rnr_timer_ns=self.qp.attrs.min_rnr_timer_ns)
+        if fault:
+            # Fault detection + firmware NAK generation take time; this
+            # latency bounds the damming interval range from below.
+            delay = self.qp.rnic.profile.odp_fault_nak_delay_ns
+            self.sim.schedule(delay, self._send_response,
+                              Opcode.ACKNOWLEDGE, psn, None, aeth)
+        else:
+            self._send_response(Opcode.ACKNOWLEDGE, psn, None, aeth=aeth)
+
+    def _send_ack(self, psn: int) -> None:
+        self._send_response(Opcode.ACKNOWLEDGE, psn, None,
+                            aeth=Aeth(Syndrome.ACK, self.msn))
+
+    def _send_fatal_nak(self, syndrome: Syndrome, psn: int) -> None:
+        self._send_response(Opcode.ACKNOWLEDGE, psn, None,
+                            aeth=Aeth(syndrome, self.msn))
+
+    def _send_response(self, opcode: Opcode, psn: int,
+                       payload: Optional[bytes],
+                       aeth: Optional[Aeth] = None) -> None:
+        packet = Packet(
+            src_lid=self.qp.rnic.lid,
+            dst_lid=self.qp.remote_lid,
+            src_qpn=self.qp.qpn,
+            dst_qpn=self.qp.remote_qpn,
+            opcode=opcode,
+            psn=psn,
+            payload=payload,
+            aeth=aeth,
+        )
+        self.qp.rnic.tx_enqueue(packet)

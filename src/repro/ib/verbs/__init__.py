@@ -1,0 +1,39 @@
+"""The user-facing verbs API, shaped after libibverbs.
+
+Typical flow (mirroring the paper's micro-benchmark, Figure 3)::
+
+    ctx = node.open_device()
+    pd = ctx.alloc_pd()
+    cq = ctx.create_cq()
+    mr = pd.reg_mr(region, access=Access.ALL, odp=OdpMode.EXPLICIT)
+    qp = pd.create_qp(send_cq=cq)
+    qp.connect(remote_qp.info(), attrs=QpAttrs(cack=1, retry_count=7,
+                                               min_rnr_timer_ns=1_280_000))
+    qp.post_send(WorkRequest.read(wr_id=1, local=..., remote=...))
+    completion = yield cq.wait(1)   # inside a simulation process
+"""
+
+from repro.ib.verbs.context import Context
+from repro.ib.verbs.cq import CompletionQueue
+from repro.ib.verbs.enums import Access, OdpMode, QpState, WcOpcode, WcStatus
+from repro.ib.verbs.mr import MemoryRegion
+from repro.ib.verbs.pd import ProtectionDomain
+from repro.ib.verbs.qp import QpAttrs, QpInfo, QueuePair
+from repro.ib.verbs.wr import WorkCompletion, WorkRequest
+
+__all__ = [
+    "Context",
+    "CompletionQueue",
+    "Access",
+    "OdpMode",
+    "QpState",
+    "WcOpcode",
+    "WcStatus",
+    "MemoryRegion",
+    "ProtectionDomain",
+    "QueuePair",
+    "QpAttrs",
+    "QpInfo",
+    "WorkRequest",
+    "WorkCompletion",
+]

@@ -1,0 +1,51 @@
+"""Device context: the entry point of the verbs API."""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, List
+
+from repro.ib.verbs.cq import CompletionQueue
+from repro.ib.verbs.pd import ProtectionDomain
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ib.device import DeviceProfile
+    from repro.ib.rnic import Rnic
+
+_cq_numbers = itertools.count(1)
+
+
+class Context:
+    """An opened device (``ibv_open_device``)."""
+
+    def __init__(self, rnic: "Rnic"):
+        self.rnic = rnic
+        self.pds: List[ProtectionDomain] = []
+        self.cqs: List[CompletionQueue] = []
+
+    @property
+    def device(self) -> "DeviceProfile":
+        """The device profile (``ibv_query_device``)."""
+        return self.rnic.profile
+
+    @property
+    def lid(self) -> int:
+        """Port LID (``ibv_query_port``)."""
+        return self.rnic.lid
+
+    def alloc_pd(self) -> ProtectionDomain:
+        """Allocate a protection domain."""
+        pd = ProtectionDomain(self.rnic)
+        self.pds.append(pd)
+        return pd
+
+    def create_cq(self, capacity: int = 65536) -> CompletionQueue:
+        """Create a completion queue."""
+        cq = CompletionQueue(self.rnic.sim, next(_cq_numbers), capacity)
+        self.cqs.append(cq)
+        return cq
+
+    @property
+    def odp_supported(self) -> bool:
+        """Mirror of ``ibv_query_device_ex`` ODP capabilities."""
+        return self.rnic.profile.odp_capable

@@ -1,0 +1,66 @@
+"""Protection domains: the factory for memory regions and queue pairs."""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.host.memory import Region
+from repro.ib.verbs.enums import Access, OdpMode
+from repro.ib.verbs.mr import MemoryRegion
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ib.rnic import Rnic
+    from repro.ib.verbs.cq import CompletionQueue
+    from repro.ib.verbs.qp import QueuePair
+
+_pd_handles = itertools.count(1)
+
+
+class ProtectionDomain:
+    """Groups MRs and QPs; access checks require matching PDs."""
+
+    def __init__(self, rnic: "Rnic"):
+        self.rnic = rnic
+        self.handle = next(_pd_handles)
+        self.mrs: List[MemoryRegion] = []
+        self.qps: List["QueuePair"] = []
+
+    def reg_mr(self, region: Region, access: Access = Access.all(),
+               odp: OdpMode = OdpMode.PINNED) -> MemoryRegion:
+        """Register ``region``; see :class:`MemoryRegion` for the modes.
+
+        ODP registration requires an ODP-capable device (the paper's
+        ConnectX-3 systems cannot enable it).
+        """
+        if odp.is_odp and not self.rnic.profile.odp_capable:
+            raise ValueError(
+                f"device {self.rnic.profile.model} does not support ODP")
+        mr = MemoryRegion(self.rnic, region, access, odp)
+        mr.pd = self  # type: ignore[attr-defined]
+        self.mrs.append(mr)
+        return mr
+
+    def reg_implicit_odp(self, vm_region: Region,
+                         access: Access = Access.all()) -> MemoryRegion:
+        """Implicit ODP: register the whole address space."""
+        return self.reg_mr(vm_region, access, OdpMode.IMPLICIT)
+
+    def create_qp(self, send_cq: "CompletionQueue",
+                  recv_cq: Optional["CompletionQueue"] = None,
+                  max_send_wr: int = 1024) -> "QueuePair":
+        """Create an RC queue pair on this PD."""
+        from repro.ib.verbs.qp import QueuePair  # local import: cycle
+
+        qp = QueuePair(self, send_cq, recv_cq or send_cq, max_send_wr)
+        self.qps.append(qp)
+        return qp
+
+    def create_ud_qp(self, send_cq: "CompletionQueue",
+                     recv_cq: Optional["CompletionQueue"] = None):
+        """Create an Unreliable Datagram queue pair on this PD."""
+        from repro.ib.verbs.ud import UdQueuePair  # local import: cycle
+
+        qp = UdQueuePair(self, send_cq, recv_cq)
+        self.qps.append(qp)
+        return qp

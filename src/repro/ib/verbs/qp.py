@@ -1,0 +1,135 @@
+"""Queue pairs: the endpoints of RC connections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.ib.transport.requester import Requester
+from repro.ib.transport.responder import Responder
+from repro.ib.transport.psn import PSN_MASK
+from repro.ib.verbs.enums import QpState
+from repro.ib.verbs.wr import RecvRequest, Sge, WorkRequest
+from repro.sim.timebase import US
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ib.verbs.cq import CompletionQueue
+    from repro.ib.verbs.pd import ProtectionDomain
+    from repro.ib.rnic import Rnic
+
+
+@dataclass
+class QpAttrs:
+    """Connection attributes (the knobs of Sections II-C and V).
+
+    ``cack`` is the 5-bit Local ACK Timeout exponent (0 disables the
+    timeout; the effective value is clamped to the device's vendor
+    minimum).  ``retry_count`` is the 3-bit Retry Count; exceeding it
+    aborts with ``IBV_WC_RETRY_EXC_ERR``.  ``min_rnr_timer_ns`` is the
+    advertised minimal RNR NAK delay.
+    """
+
+    cack: int = 14
+    retry_count: int = 7
+    rnr_retry: int = 7  # 7 = retry forever, the usual setting
+    min_rnr_timer_ns: int = 10 * US
+    #: Initiator depth: maximum outstanding READ/atomic requests.
+    max_rd_atomic: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.cack <= 31:
+            raise ValueError("cack is a 5-bit field")
+        if not 0 <= self.retry_count <= 7:
+            raise ValueError("retry_count is a 3-bit field")
+        if self.max_rd_atomic < 1:
+            raise ValueError("max_rd_atomic must be at least 1")
+
+
+@dataclass
+class QpInfo:
+    """What peers exchange out of band to connect (LID, QPN, start PSN)."""
+
+    lid: int
+    qpn: int
+    psn: int
+
+
+class QueuePair:
+    """An RC queue pair."""
+
+    def __init__(self, pd: "ProtectionDomain", send_cq: "CompletionQueue",
+                 recv_cq: "CompletionQueue", max_send_wr: int = 1024):
+        self.pd = pd
+        self.rnic: "Rnic" = pd.rnic
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.max_send_wr = max_send_wr
+        self.qpn = self.rnic.alloc_qpn(self)
+        self.initial_psn = (self.qpn * 7919) & PSN_MASK  # deterministic
+        self.state = QpState.INIT
+        self.attrs = QpAttrs()
+        self.remote_lid: Optional[int] = None
+        self.remote_qpn: Optional[int] = None
+        self.requester = Requester(self)
+        self.responder = Responder(self)
+
+    # ------------------------------------------------------------------
+
+    def info(self) -> QpInfo:
+        """Connection info to hand to the peer."""
+        return QpInfo(self.rnic.lid, self.qpn, self.initial_psn)
+
+    def connect(self, remote: QpInfo, attrs: Optional[QpAttrs] = None) -> None:
+        """Transition INIT -> RTR -> RTS against ``remote``.
+
+        Passing a ``remote`` with a wrong LID reproduces the paper's
+        Figure 2 methodology (every request is dropped by the fabric and
+        the QP eventually aborts with ``IBV_WC_RETRY_EXC_ERR``).
+        """
+        if self.state is not QpState.INIT:
+            raise RuntimeError(f"QP{self.qpn}: connect from state {self.state}")
+        if attrs is not None:
+            self.attrs = attrs
+        self.remote_lid = remote.lid
+        self.remote_qpn = remote.qpn
+        self.responder.epsn = remote.psn
+        self.state = QpState.RTS
+
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, packet) -> None:
+        """RNIC dispatch: requests go to the responder, responses and
+        acknowledgements to the requester."""
+        if packet.is_request:
+            self.responder.on_packet(packet)
+        else:
+            self.requester.on_packet(packet)
+
+    def post_send(self, wr: WorkRequest) -> None:
+        """Post to the send queue (``ibv_post_send``)."""
+        self.requester.post(wr)
+
+    def post_recv(self, wr_id: int, sge: Sge) -> None:
+        """Post a receive buffer (``ibv_post_recv``)."""
+        self.responder.post_recv(RecvRequest(wr_id, sge))
+
+    def enter_error(self) -> None:
+        """Move to the ERROR state (stops all processing)."""
+        self.state = QpState.ERROR
+
+    @property
+    def outstanding(self) -> int:
+        """Incomplete send-queue WQEs."""
+        return self.requester.outstanding
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<QP{self.qpn} {self.state.value} "
+                f"-> lid {self.remote_lid} qpn {self.remote_qpn}>")
+
+
+def connect_pair(qp_a: QueuePair, qp_b: QueuePair,
+                 attrs: Optional[QpAttrs] = None) -> None:
+    """Wire two QPs together (the out-of-band exchange in one call)."""
+    info_a, info_b = qp_a.info(), qp_b.info()
+    qp_a.connect(info_b, attrs)
+    qp_b.connect(info_a, attrs)

@@ -1,0 +1,127 @@
+"""Work requests and work completions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.ib.verbs.enums import WcOpcode, WcStatus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ib.verbs.mr import MemoryRegion
+
+
+@dataclass
+class Sge:
+    """A scatter/gather element: where the local data lives."""
+
+    mr: "MemoryRegion"
+    addr: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not self.mr.contains(self.addr, self.length):
+            raise ValueError(
+                f"SGE [{self.addr:#x}+{self.length}] outside MR "
+                f"[{self.mr.addr:#x}+{self.mr.length}]")
+
+
+@dataclass
+class RemoteAddr:
+    """Remote target of a one-sided operation."""
+
+    addr: int
+    rkey: int
+
+
+@dataclass
+class WorkRequest:
+    """A posted send-queue work request."""
+
+    wr_id: int
+    opcode: WcOpcode
+    local: Optional[Sge] = None
+    remote: Optional[RemoteAddr] = None
+    signaled: bool = True
+    #: immediate payload for SEND when no local SGE is supplied
+    inline_data: Optional[bytes] = None
+    #: atomics
+    compare_add: int = 0
+    swap: int = 0
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def read(cls, wr_id: int, local: Sge, remote: RemoteAddr,
+             signaled: bool = True) -> "WorkRequest":
+        """RDMA READ: fetch ``local.length`` bytes from the remote."""
+        return cls(wr_id, WcOpcode.RDMA_READ, local, remote, signaled)
+
+    @classmethod
+    def write(cls, wr_id: int, local: Sge, remote: RemoteAddr,
+              signaled: bool = True) -> "WorkRequest":
+        """RDMA WRITE: push ``local.length`` bytes to the remote."""
+        return cls(wr_id, WcOpcode.RDMA_WRITE, local, remote, signaled)
+
+    @classmethod
+    def send(cls, wr_id: int, local: Optional[Sge] = None,
+             inline_data: Optional[bytes] = None,
+             signaled: bool = True) -> "WorkRequest":
+        """Two-sided SEND (consumes a remote RECV)."""
+        if local is None and inline_data is None:
+            raise ValueError("SEND needs either an SGE or inline data")
+        return cls(wr_id, WcOpcode.SEND, local, None, signaled,
+                   inline_data=inline_data)
+
+    @classmethod
+    def fetch_add(cls, wr_id: int, local: Sge, remote: RemoteAddr,
+                  add: int, signaled: bool = True) -> "WorkRequest":
+        """8-byte atomic fetch-and-add."""
+        if local.length != 8:
+            raise ValueError("atomic WRs operate on 8 bytes")
+        return cls(wr_id, WcOpcode.FETCH_ADD, local, remote, signaled,
+                   compare_add=add)
+
+    @classmethod
+    def compare_swap(cls, wr_id: int, local: Sge, remote: RemoteAddr,
+                     compare: int, swap: int,
+                     signaled: bool = True) -> "WorkRequest":
+        """8-byte atomic compare-and-swap."""
+        if local.length != 8:
+            raise ValueError("atomic WRs operate on 8 bytes")
+        return cls(wr_id, WcOpcode.COMP_SWAP, local, remote, signaled,
+                   compare_add=compare, swap=swap)
+
+    @property
+    def length(self) -> int:
+        """Data length of the operation."""
+        if self.local is not None:
+            return self.local.length
+        if self.inline_data is not None:
+            return len(self.inline_data)
+        return 0
+
+
+@dataclass
+class RecvRequest:
+    """A posted receive-queue work request (for SEND/RECV)."""
+
+    wr_id: int
+    local: Sge
+
+
+@dataclass
+class WorkCompletion:
+    """A completion queue entry."""
+
+    wr_id: int
+    status: WcStatus
+    opcode: WcOpcode
+    byte_len: int
+    qp_num: int
+    completed_at: int
+
+    @property
+    def ok(self) -> bool:
+        """True for a successful completion."""
+        return self.status is WcStatus.SUCCESS

@@ -1,0 +1,16 @@
+"""Fabric model: links, a crossbar switch, and LID-based routing.
+
+The fabric is intentionally simple — one switch hop between hosts — because
+the paper's phenomena rely only on the separation of time scales between a
+several-microsecond round trip and millisecond-to-second stalls.  The
+model still includes per-link serialisation (bandwidth) and propagation
+delay, per-port counters, deliberate loss injection (used by the Figure 2
+timeout experiment), and sniffer taps (used by the ibdump-equivalent
+capture layer).
+"""
+
+from repro.net.link import Link, LinkEnd
+from repro.net.network import DropReason, Network, PortStats
+from repro.net.switch import Switch
+
+__all__ = ["Link", "LinkEnd", "Network", "Switch", "DropReason", "PortStats"]

@@ -1,0 +1,98 @@
+"""Point-to-point link with serialisation and propagation delay.
+
+A :class:`Link` joins two :class:`LinkEnd` objects.  Each direction has an
+independent transmitter that serialises packets back to back: a packet of
+``wire_size`` bytes occupies the transmitter for ``wire_size / bandwidth``
+and then arrives at the far end after the propagation delay.  Packets on
+one link direction therefore never reorder, which matters for the
+back-to-back retransmission bursts at the heart of packet damming.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+
+#: Conventional InfiniBand data rates in bytes per second (after encoding).
+RATE_BYTES_PER_SEC = {
+    "FDR": 56 // 8 * 10**9 * 64 // 66,   # 56 Gb/s, 64/66b encoding
+    "EDR": 100 // 8 * 10**9 * 64 // 66,  # 100 Gb/s
+    "HDR": 200 // 8 * 10**9 * 64 // 66,  # 200 Gb/s
+}
+
+DEFAULT_PROPAGATION_NS = 500  # ~100 m of fibre + PHY latency
+
+
+class LinkEnd:
+    """One direction of a link: a serialising transmitter.
+
+    ``deliver`` is the far side's receive function, invoked with
+    ``(packet)`` once the last bit arrives.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        propagation_ns: int,
+        name: str = "",
+    ):
+        self.sim = sim
+        self.bandwidth_bytes_per_ns = bandwidth_bps / 1e9 / 8
+        self.propagation_ns = propagation_ns
+        self.name = name
+        self.deliver: Optional[Callable[[Any], None]] = None
+        self._busy_until = 0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+
+    def serialization_ns(self, wire_size: int) -> int:
+        """Time the transmitter is occupied by a ``wire_size``-byte packet."""
+        return max(1, round(wire_size / self.bandwidth_bytes_per_ns / 8) * 8 or 1)
+
+    def transmit(self, packet: Any) -> int:
+        """Queue ``packet`` for transmission; returns its arrival time."""
+        if self.deliver is None:
+            raise RuntimeError(f"link end {self.name!r} is not connected")
+        wire_size = getattr(packet, "wire_size", 64)
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + self.serialization_ns(wire_size)
+        arrival = self._busy_until + self.propagation_ns
+        self.tx_packets += 1
+        self.tx_bytes += wire_size
+        self.sim.at(arrival, self.deliver, packet)
+        return arrival
+
+    @property
+    def busy_until(self) -> int:
+        """Timestamp until which the transmitter is occupied."""
+        return self._busy_until
+
+
+class Link:
+    """A full-duplex link: two independent :class:`LinkEnd` directions.
+
+    ``a_to_b`` carries traffic from side A to side B and vice versa.  The
+    endpoints' ``deliver`` callbacks are wired by the owning
+    :class:`repro.net.network.Network`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate: str = "FDR",
+        propagation_ns: int = DEFAULT_PROPAGATION_NS,
+        name: str = "",
+    ):
+        if rate not in RATE_BYTES_PER_SEC:
+            raise ValueError(f"unknown link rate {rate!r}; expected one of "
+                             f"{sorted(RATE_BYTES_PER_SEC)}")
+        bandwidth_bps = RATE_BYTES_PER_SEC[rate] * 8
+        self.rate = rate
+        self.name = name
+        self.a_to_b = LinkEnd(sim, bandwidth_bps, propagation_ns, f"{name}:a->b")
+        self.b_to_a = LinkEnd(sim, bandwidth_bps, propagation_ns, f"{name}:b->a")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.rate}>"

@@ -1,0 +1,146 @@
+"""The fabric facade: hosts attach by LID, packets route via the switch.
+
+:class:`Network` owns the switch and one full-duplex link per attached
+LID.  It exposes:
+
+* ``attach(lid, receive)`` — returns a :class:`NetworkPort` whose ``send``
+  injects packets into the fabric,
+* sniffer taps (``add_tap``) observing every injected packet — the
+  substrate of the ibdump-equivalent capture layer,
+* loss injection rules (``add_loss_rule``) evaluated at injection time,
+* per-port statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from repro.net.link import Link
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class PortStats:
+    """Counters for one attached LID."""
+
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    rx_packets: int = 0
+    rx_bytes: int = 0
+    drops_injected: int = 0
+
+
+@dataclass
+class DropReason:
+    """Record of a deliberately dropped packet (for analysis/tests)."""
+
+    time: int
+    packet: Any
+    reason: str = field(default="loss_rule")
+
+
+class NetworkPort:
+    """A host's handle on the fabric."""
+
+    def __init__(self, network: "Network", lid: int):
+        self.network = network
+        self.lid = lid
+
+    def send(self, packet: Any) -> None:
+        """Inject ``packet`` (its ``dst_lid`` decides routing)."""
+        self.network.inject(self.lid, packet)
+
+
+class Network:
+    """Single-switch fabric with LID routing, taps, and loss injection."""
+
+    def __init__(self, sim: Simulator, rate: str = "FDR",
+                 propagation_ns: int = 500, forward_ns: int = 200):
+        self.sim = sim
+        self.rate = rate
+        self.propagation_ns = propagation_ns
+        self.switch = Switch(sim, forward_ns=forward_ns)
+        self.stats: Dict[int, PortStats] = {}
+        self.drops: List[DropReason] = []
+        self._links: Dict[int, Link] = {}
+        self._receivers: Dict[int, Callable[[Any], None]] = {}
+        self._taps: List[Callable[[int, int, Any], None]] = []
+        self._loss_rules: List[Callable[[Any], bool]] = []
+        self.switch.on_drop = self._on_switch_drop
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def attach(self, lid: int, receive: Callable[[Any], None]) -> NetworkPort:
+        """Attach a host port at ``lid`` delivering packets to ``receive``."""
+        if lid in self._links:
+            raise ValueError(f"LID {lid} already attached")
+        link = Link(self.sim, rate=self.rate,
+                    propagation_ns=self.propagation_ns, name=f"lid{lid}")
+        link.a_to_b.deliver = self.switch.receive          # host -> switch
+        link.b_to_a.deliver = lambda pkt: self._deliver(lid, pkt)
+        self.switch.attach(lid, link.b_to_a)
+        self._links[lid] = link
+        self._receivers[lid] = receive
+        self.stats[lid] = PortStats()
+        return NetworkPort(self, lid)
+
+    def lids(self) -> List[int]:
+        """All attached LIDs."""
+        return sorted(self._links)
+
+    # ------------------------------------------------------------------
+    # Observation and fault injection
+    # ------------------------------------------------------------------
+
+    def add_tap(self, tap: Callable[[int, int, Any], None]) -> None:
+        """Register ``tap(time_ns, src_lid, packet)`` on every injection."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Callable[[int, int, Any], None]) -> None:
+        """Unregister a tap added with :meth:`add_tap`."""
+        self._taps.remove(tap)
+
+    def add_loss_rule(self, rule: Callable[[Any], bool]) -> None:
+        """Drop (at injection) every packet for which ``rule`` is true."""
+        self._loss_rules.append(rule)
+
+    def clear_loss_rules(self) -> None:
+        """Remove all loss rules."""
+        self._loss_rules.clear()
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def inject(self, src_lid: int, packet: Any) -> None:
+        """Entry point for a host transmitting ``packet``."""
+        stats = self.stats[src_lid]
+        for tap in self._taps:
+            tap(self.sim.now, src_lid, packet)
+        for rule in self._loss_rules:
+            if rule(packet):
+                stats.drops_injected += 1
+                self.drops.append(DropReason(self.sim.now, packet))
+                return
+        stats.tx_packets += 1
+        stats.tx_bytes += getattr(packet, "wire_size", 64)
+        self._links[src_lid].a_to_b.transmit(packet)
+
+    def _deliver(self, lid: int, packet: Any) -> None:
+        stats = self.stats[lid]
+        stats.rx_packets += 1
+        stats.rx_bytes += getattr(packet, "wire_size", 64)
+        self._receivers[lid](packet)
+
+    def _on_switch_drop(self, packet: Any, reason: str) -> None:
+        self.drops.append(DropReason(self.sim.now, packet, reason))
+
+    # ------------------------------------------------------------------
+
+    def total_packets(self) -> int:
+        """Total packets injected into the fabric (tap-visible count)."""
+        return sum(s.tx_packets for s in self.stats.values()) + len(self.drops)

@@ -1,0 +1,101 @@
+"""Plain-text reporting helpers for the experiment runners.
+
+Benchmarks regenerate the paper's tables and figures as text: aligned
+tables for tabular data and modest ASCII charts for the figures, so the
+whole reproduction is inspectable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_chart(points: Sequence[Tuple[float, float]],
+                width: int = 60, height: int = 14,
+                x_label: str = "x", y_label: str = "y",
+                log_y: bool = False, title: str = "") -> str:
+    """Render an (x, y) series as a simple ASCII scatter/line chart."""
+    import math
+
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_y:
+        floor = min(y for y in ys if y > 0) if any(y > 0 for y in ys) else 1.0
+        ys = [math.log10(max(y, floor)) for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{(10 ** y_hi if log_y else y_hi):.3g}"
+    y_lo_label = f"{(10 ** y_lo if log_y else y_lo):.3g}"
+    lines.append(f"{y_label} (top={y_hi_label}, bottom={y_lo_label}"
+                 f"{', log scale' if log_y else ''})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:.3g} .. {x_hi:.3g}")
+    return "\n".join(lines)
+
+
+def histogram(values: Sequence[float], bins: int = 10,
+              width: int = 40, title: str = "",
+              unit: str = "") -> str:
+    """Render a histogram of values as horizontal bars."""
+    if not values:
+        return f"{title}\n(no data)"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - lo) / span * bins))
+        counts[index] += 1
+    peak = max(counts) or 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, count in enumerate(counts):
+        left = lo + span * index / bins
+        right = lo + span * (index + 1) / bins
+        bar = "#" * round(count / peak * width)
+        lines.append(f"{left:8.2f}-{right:8.2f}{unit} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def summarize(values: Sequence[float]) -> str:
+    """min/median/mean/max one-liner."""
+    if not values:
+        return "(no samples)"
+    ordered = sorted(values)
+    mean = sum(ordered) / len(ordered)
+    median = ordered[len(ordered) // 2]
+    return (f"n={len(ordered)} min={ordered[0]:.4g} median={median:.4g} "
+            f"mean={mean:.4g} max={ordered[-1]:.4g}")

@@ -1,0 +1,114 @@
+"""Generator-based cooperative processes on top of the event engine.
+
+Application-level code in this package (micro-benchmarks, the mini-DSM,
+the mini-Spark driver) is most natural as sequential code that sleeps and
+waits for completions.  A :class:`Process` wraps a generator; the
+generator may yield:
+
+* ``int`` — sleep that many nanoseconds,
+* :class:`repro.sim.future.Future` — suspend until it resolves; the
+  resolved value is sent back into the generator,
+* another :class:`Process` — suspend until that process finishes.
+
+Example::
+
+    def worker(sim):
+        yield 1000            # sleep 1 us
+        value = yield fut     # wait for a future
+        return value
+
+    proc = Process(sim, worker(sim))
+    sim.run_until_idle()
+    assert proc.done
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.future import Future
+
+
+class ProcessError(RuntimeError):
+    """Raised when a process yields an unsupported value."""
+
+
+class Process:
+    """Drives a generator as a cooperative simulation process."""
+
+    def __init__(self, sim: Simulator, gen: Generator[Any, Any, Any], name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.finished = Future(label=f"process:{self.name}")
+        sim.call_soon(self._advance, None)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once the generator has returned or raised."""
+        return self.finished.done
+
+    @property
+    def result(self) -> Any:
+        """The generator's return value (raises if it failed)."""
+        return self.finished.result
+
+    def wait(self) -> Future:
+        """Future resolving when the process completes (for composition)."""
+        return self.finished
+
+    # ------------------------------------------------------------------
+
+    def _advance(self, send_value: Any) -> None:
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.finished.resolve(stop.value)
+            return
+        except Exception as exc:  # noqa: BLE001 - propagate via the future
+            self.finished.fail(exc)
+            return
+        self._dispatch(yielded)
+
+    def _throw(self, exc: BaseException) -> None:
+        try:
+            yielded = self.gen.throw(exc)
+        except StopIteration as stop:
+            self.finished.resolve(stop.value)
+            return
+        except Exception as raised:  # noqa: BLE001
+            self.finished.fail(raised)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, Process):
+            yielded = yielded.finished
+        if isinstance(yielded, Future):
+            yielded.add_callback(self._on_future)
+            return
+        if isinstance(yielded, int):
+            if yielded < 0:
+                self._throw(ProcessError(f"negative sleep: {yielded}"))
+                return
+            self.sim.schedule(yielded, self._advance, None)
+            return
+        self._throw(ProcessError(f"process yielded unsupported value: {yielded!r}"))
+
+    def _on_future(self, future: Future) -> None:
+        if future.exception is not None:
+            self.sim.call_soon(self._throw, future.exception)
+        else:
+            self.sim.call_soon(self._advance, future._result)  # noqa: SLF001
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return f"<Process {self.name} {state}>"
+
+
+def spawn(sim: Simulator, gen: Generator[Any, Any, Any], name: str = "") -> Process:
+    """Convenience wrapper: start a new :class:`Process`."""
+    return Process(sim, gen, name=name)

@@ -1,0 +1,49 @@
+"""Time units and conversions for the simulator.
+
+The simulator clock counts integer nanoseconds.  These constants let call
+sites write ``3 * MS`` or ``500 * US`` instead of raw magic numbers, and
+the ``ns_to_*`` helpers convert simulator timestamps back to the float
+units used in reports and figures.
+"""
+
+#: One nanosecond (the base unit of the simulation clock).
+NS = 1
+
+#: Nanoseconds per microsecond.
+US = 1_000
+
+#: Nanoseconds per millisecond.
+MS = 1_000_000
+
+#: Nanoseconds per second.
+SEC = 1_000_000_000
+
+
+def ns_to_us(t: int) -> float:
+    """Convert a simulator timestamp/duration to microseconds."""
+    return t / US
+
+
+def ns_to_ms(t: int) -> float:
+    """Convert a simulator timestamp/duration to milliseconds."""
+    return t / MS
+
+
+def ns_to_s(t: int) -> float:
+    """Convert a simulator timestamp/duration to seconds."""
+    return t / SEC
+
+
+def us(value: float) -> int:
+    """Build an integer-ns duration from a microsecond value."""
+    return round(value * US)
+
+
+def ms(value: float) -> int:
+    """Build an integer-ns duration from a millisecond value."""
+    return round(value * MS)
+
+
+def seconds(value: float) -> int:
+    """Build an integer-ns duration from a second value."""
+    return round(value * SEC)

@@ -1,0 +1,18 @@
+"""A miniature UCX-like communication middleware.
+
+The paper's application experiments (Section VII) run ArgoDSM and
+SparkUCX over UCX, whose defaults matter: a minimal RNR NAK delay of
+0.96 ms, ``C_ACK = 18``, and — the authors' "worst scenario possible" —
+ODP preferred over pinned registration by default when the device
+supports it, without the applications being aware.
+
+This package reproduces exactly those aspects: environment-style
+configuration, endpoint/worker objects, RMA (put/get/atomic) and
+two-sided messaging over the simulated verbs layer.
+"""
+
+from repro.ucx.config import UcxConfig
+from repro.ucx.context import UcxContext
+from repro.ucx.endpoint import UcxEndpoint, UcxMemory
+
+__all__ = ["UcxConfig", "UcxContext", "UcxEndpoint", "UcxMemory"]

@@ -1,0 +1,81 @@
+"""UCX-style configuration from environment-variable dictionaries.
+
+The knobs relevant to the paper:
+
+* ``UCX_IB_PREFER_ODP`` — register memory with ODP when the device
+  supports it (the default behaviour that surprised the authors:
+  "UCX prioritized ODP over direct memory registration by default, and
+  we were even unaware of the use of ODP in the first place").
+* ``UCX_RC_TIMEOUT`` — transport timeout; UCX's default corresponds to
+  ``C_ACK = 18``.
+* ``UCX_RC_RNR_TIMEOUT`` — minimal RNR NAK delay; default 0.96 ms.
+* ``UCX_RC_RETRY_COUNT`` — Retry Count, default 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.ib.device import ACK_TIMEOUT_BASE_NS
+from repro.sim.timebase import MS, US
+
+TRUE_VALUES = {"y", "yes", "1", "true", "on"}
+FALSE_VALUES = {"n", "no", "0", "false", "off"}
+
+
+def _parse_bool(raw: str, name: str) -> bool:
+    value = raw.strip().lower()
+    if value in TRUE_VALUES:
+        return True
+    if value in FALSE_VALUES:
+        return False
+    raise ValueError(f"{name}: cannot parse boolean from {raw!r}")
+
+
+def _parse_time_ns(raw: str, name: str) -> int:
+    """Parse UCX-style time values like '1.0s', '0.96ms', '500us'."""
+    value = raw.strip().lower()
+    for suffix, scale in (("ms", 1_000_000), ("us", 1_000),
+                          ("ns", 1), ("s", 1_000_000_000)):
+        if value.endswith(suffix):
+            return round(float(value[:-len(suffix)]) * scale)
+    raise ValueError(f"{name}: cannot parse time from {raw!r}")
+
+
+@dataclass
+class UcxConfig:
+    """Resolved UCX configuration."""
+
+    prefer_odp: bool = True
+    min_rnr_timer_ns: int = round(0.96 * MS)
+    cack: int = 18
+    retry_count: int = 7
+    max_rd_atomic: int = 16
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "UcxConfig":
+        """Build a config from a ``UCX_*`` environment mapping."""
+        env = env or {}
+        config = cls()
+        if "UCX_IB_PREFER_ODP" in env:
+            config.prefer_odp = _parse_bool(env["UCX_IB_PREFER_ODP"],
+                                            "UCX_IB_PREFER_ODP")
+        if "UCX_RC_RNR_TIMEOUT" in env:
+            config.min_rnr_timer_ns = _parse_time_ns(env["UCX_RC_RNR_TIMEOUT"],
+                                                     "UCX_RC_RNR_TIMEOUT")
+        if "UCX_RC_TIMEOUT" in env:
+            timeout_ns = _parse_time_ns(env["UCX_RC_TIMEOUT"],
+                                        "UCX_RC_TIMEOUT")
+            config.cack = max(1, round(math.log2(
+                max(1.0, timeout_ns / ACK_TIMEOUT_BASE_NS))))
+        if "UCX_RC_RETRY_COUNT" in env:
+            config.retry_count = int(env["UCX_RC_RETRY_COUNT"])
+        return config
+
+    def describe(self) -> str:
+        """Human-readable summary (what `ucx_info -c` would show)."""
+        return (f"prefer_odp={'y' if self.prefer_odp else 'n'} "
+                f"rnr_timer={self.min_rnr_timer_ns / US:.2f}us "
+                f"cack={self.cack} retry={self.retry_count}")

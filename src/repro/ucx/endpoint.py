@@ -1,0 +1,152 @@
+"""UCX endpoints: future-based RMA and two-sided messaging."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+
+from collections import deque
+
+from repro.host.memory import Region
+from repro.ib.verbs.enums import WcOpcode, WcStatus
+from repro.ib.verbs.mr import MemoryRegion
+from repro.ib.verbs.wr import RemoteAddr, Sge, WorkRequest
+from repro.sim.future import Future
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ucx.context import UcxContext
+
+_wr_ids = itertools.count(1)
+
+
+@dataclass
+class UcxMemory:
+    """A registered memory handle (region + MR)."""
+
+    region: Region
+    mr: MemoryRegion
+
+    @property
+    def rkey(self) -> int:
+        """Remote key for RMA."""
+        return self.mr.rkey
+
+    def addr(self, offset: int = 0) -> int:
+        """Absolute address of an offset."""
+        return self.region.addr(offset)
+
+
+class UcxError(RuntimeError):
+    """A UCX operation failed (wraps the verbs status)."""
+
+    def __init__(self, status: WcStatus):
+        super().__init__(f"UCX operation failed: {status.value}")
+        self.status = status
+
+
+class UcxEndpoint:
+    """A connected point-to-point channel (one RC QP)."""
+
+    def __init__(self, context: "UcxContext"):
+        self.context = context
+        self.qp = context.pd.create_qp(send_cq=context.cq,
+                                       max_send_wr=1 << 16)
+        self._pending: Dict[int, Future] = {}
+        self._recv_pending: Dict[int, Future] = {}
+        self._drain_waiters: List[Future] = []
+        self.ops_issued = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Operations posted but not yet completed."""
+        return len(self._pending)
+
+    def get(self, memory: UcxMemory, offset: int, size: int,
+            remote_addr: int, rkey: int) -> Future:
+        """RMA get (RDMA READ): fetch remote bytes into local memory."""
+        return self._post(WorkRequest.read(
+            wr_id=next(_wr_ids),
+            local=Sge(memory.mr, memory.addr(offset), size),
+            remote=RemoteAddr(remote_addr, rkey)))
+
+    def put(self, memory: UcxMemory, offset: int, size: int,
+            remote_addr: int, rkey: int) -> Future:
+        """RMA put (RDMA WRITE): push local bytes to remote memory."""
+        return self._post(WorkRequest.write(
+            wr_id=next(_wr_ids),
+            local=Sge(memory.mr, memory.addr(offset), size),
+            remote=RemoteAddr(remote_addr, rkey)))
+
+    def fetch_add(self, memory: UcxMemory, offset: int,
+                  remote_addr: int, rkey: int, add: int) -> Future:
+        """Atomic fetch-and-add on the remote 8-byte word."""
+        return self._post(WorkRequest.fetch_add(
+            wr_id=next(_wr_ids),
+            local=Sge(memory.mr, memory.addr(offset), 8),
+            remote=RemoteAddr(remote_addr, rkey), add=add))
+
+    def compare_swap(self, memory: UcxMemory, offset: int,
+                     remote_addr: int, rkey: int,
+                     compare: int, swap: int) -> Future:
+        """Atomic compare-and-swap on the remote 8-byte word."""
+        return self._post(WorkRequest.compare_swap(
+            wr_id=next(_wr_ids),
+            local=Sge(memory.mr, memory.addr(offset), 8),
+            remote=RemoteAddr(remote_addr, rkey),
+            compare=compare, swap=swap))
+
+    def send(self, memory: UcxMemory, offset: int, size: int) -> Future:
+        """Two-sided send (peer must have posted a recv)."""
+        return self._post(WorkRequest.send(
+            wr_id=next(_wr_ids),
+            local=Sge(memory.mr, memory.addr(offset), size)))
+
+    def send_inline(self, data: bytes) -> Future:
+        """Two-sided send of a small inline payload."""
+        return self._post(WorkRequest.send(wr_id=next(_wr_ids),
+                                           inline_data=data))
+
+    def recv(self, memory: UcxMemory, offset: int, size: int) -> Future:
+        """Post a receive buffer; resolves with the received byte count."""
+        wr_id = next(_wr_ids)
+        future = Future(label=f"recv#{wr_id}")
+        self._recv_pending[wr_id] = future
+        self.qp.post_recv(wr_id, Sge(memory.mr, memory.addr(offset), size))
+        return future
+
+    # ------------------------------------------------------------------
+
+    def _post(self, wr: WorkRequest) -> Future:
+        future = Future(label=f"{wr.opcode.value}#{wr.wr_id}")
+        self._pending[wr.wr_id] = future
+        self.ops_issued += 1
+        self.qp.post_send(wr)
+        return future
+
+    def _handle_completion(self, wc) -> None:
+        if wc.opcode is WcOpcode.RECV:
+            future = self._recv_pending.pop(wc.wr_id, None)
+        else:
+            future = self._pending.pop(wc.wr_id, None)
+        if future is None or future.done:
+            return
+        if wc.status is WcStatus.SUCCESS:
+            future.resolve(wc.byte_len)
+        else:
+            future.fail(UcxError(wc.status))
+        if not self._pending:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for waiter in waiters:
+                waiter.resolve(None)
+
+    def drained(self) -> Future:
+        """Future resolving when no sends remain in flight."""
+        future = Future(label="ep.drained")
+        if not self._pending:
+            future.resolve(None)
+        else:
+            self._drain_waiters.append(future)
+        return future

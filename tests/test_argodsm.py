@@ -1,0 +1,142 @@
+"""Tests for the miniature ArgoDSM and the Figure 12 benchmark."""
+
+import pytest
+
+from repro.apps.argodsm.benchmark import (ARGO_SYSTEMS, run_init_finalize_trials,
+                                          run_one_trial)
+from repro.apps.argodsm.dsm import ArgoCluster, ArgoError
+from repro.sim.process import Process
+
+
+def booted_cluster(env=None, ranks=2, size=1 << 20):
+    cluster = ArgoCluster(ranks=ranks, env=env or {"UCX_IB_PREFER_ODP": "n"})
+
+    def boot():
+        yield from cluster.init_process(size, lock_delay_ns=6_000_000)
+
+    proc = Process(cluster.sim, boot())
+    cluster.sim.run_until_idle()
+    _ = proc.result
+    return cluster
+
+
+class TestDsmDataPlane:
+    def test_write_read_roundtrip_across_homes(self):
+        cluster = booted_cluster()
+        payload = bytes((i * 13) % 256 for i in range(3 * 4096 + 500))
+
+        def app():
+            yield from cluster.write_bytes(0, 1000, payload)
+            cluster.acquire(1)
+            data = yield from cluster.read_bytes(1, 1000, len(payload))
+            return data
+
+        proc = Process(cluster.sim, app())
+        cluster.sim.run_until_idle()
+        assert proc.result == payload
+
+    def test_page_cache_hits_after_first_fetch(self):
+        cluster = booted_cluster()
+
+        def app():
+            yield from cluster.write_bytes(0, 0, b"z" * 4096)
+            cluster.acquire(1)
+            yield from cluster.read_bytes(1, 0, 64)
+            yield from cluster.read_bytes(1, 128, 64)
+            return None
+
+        proc = Process(cluster.sim, app())
+        cluster.sim.run_until_idle()
+        _ = proc.result
+        rank1 = cluster.ranks[1]
+        assert rank1.cache_hits >= 1
+
+    def test_acquire_invalidates_cache(self):
+        cluster = booted_cluster()
+
+        def app():
+            yield from cluster.write_bytes(0, 0, b"A" * 64)
+            cluster.acquire(1)
+            first = yield from cluster.read_bytes(1, 0, 64)
+            # rank 0 updates; without acquire rank 1 would see stale data
+            yield from cluster.write_bytes(0, 0, b"B" * 64)
+            stale = yield from cluster.read_bytes(1, 0, 64)
+            cluster.acquire(1)
+            fresh = yield from cluster.read_bytes(1, 0, 64)
+            return first, stale, fresh
+
+        proc = Process(cluster.sim, app())
+        cluster.sim.run_until_idle()
+        first, stale, fresh = proc.result
+        assert first == b"A" * 64
+        assert stale == b"A" * 64  # cached: DRF contract
+        assert fresh == b"B" * 64
+
+    def test_lock_mutual_exclusion_via_cas(self):
+        cluster = booted_cluster()
+
+        def app():
+            yield from cluster.lock(1)
+            # lock word on rank 0 now holds rank+1
+            word = cluster.ranks[0].backing.region.read(0, 8)
+            held = int.from_bytes(word, "little")
+            yield from cluster.unlock(1)
+            yield 10_000
+            word2 = cluster.ranks[0].backing.region.read(0, 8)
+            return held, int.from_bytes(word2, "little")
+
+        proc = Process(cluster.sim, app())
+        cluster.sim.run_until_idle()
+        held, released = proc.result
+        assert held == 2
+        assert released == 0
+
+    def test_out_of_bounds_rejected(self):
+        cluster = booted_cluster(size=8192)
+
+        def app():
+            yield from cluster.read_bytes(0, 8000, 500)
+
+        proc = Process(cluster.sim, app())
+        cluster.sim.run_until_idle()
+        with pytest.raises(ArgoError):
+            _ = proc.result
+
+    def test_three_ranks(self):
+        cluster = booted_cluster(ranks=3)
+        payload = bytes(range(256)) * 48  # spans several pages/homes
+
+        def app():
+            yield from cluster.write_bytes(2, 0, payload)
+            cluster.acquire(0)
+            return (yield from cluster.read_bytes(0, 0, len(payload)))
+
+        proc = Process(cluster.sim, app())
+        cluster.sim.run_until_idle()
+        assert proc.result == payload
+
+
+class TestFigure12Benchmark:
+    def test_without_odp_matches_base_time(self):
+        preset = ARGO_SYSTEMS["KNL (2 nodes)"]
+        trial = run_one_trial(preset, odp_enabled=False, seed=3)
+        assert trial.execution_time_s == pytest.approx(
+            preset.paper_without_odp_s, rel=0.10)
+        assert not trial.dammed
+
+    def test_with_odp_dams_for_in_window_delays(self):
+        preset = ARGO_SYSTEMS["KNL (2 nodes)"]
+        results = run_init_finalize_trials("KNL (2 nodes)", True,
+                                           trials=12, seed=7)
+        assert 0 < results.damming_fraction < 1
+        dammed = [t for t in results.trials if t.dammed]
+        clean = [t for t in results.trials if not t.dammed]
+        # the two groups differ by a transport timeout (~2 s at cack=18)
+        gap = (min(t.execution_time_s for t in dammed)
+               - max(t.execution_time_s for t in clean))
+        assert gap > 1.0
+
+    def test_damming_never_happens_without_odp(self):
+        results = run_init_finalize_trials("Reedbush-H (2 nodes)", False,
+                                           trials=8, seed=5)
+        assert results.damming_fraction == 0.0

@@ -1,0 +1,154 @@
+"""Tests for the ibdump-equivalent capture and trace analysis."""
+
+import pytest
+
+from repro.bench.microbench import OdpSetup
+from repro.capture.analyze import (detect_damming, detect_flood,
+                                   extract_workflow, packets_per_ms)
+from repro.capture.sniffer import Sniffer
+from repro.experiments.fig01_workflow import run_figure1, run_single_read
+from repro.experiments.fig05_workflow import run_figure5
+from repro.experiments.fig08_workflow import run_figure8
+from repro.ib.opcodes import Opcode
+from repro.ib.verbs.wr import RemoteAddr, Sge, WorkRequest
+
+from tests.helpers import make_connected_pair
+
+
+class TestSniffer:
+    def test_captures_both_directions(self):
+        cluster, client, server = make_connected_pair()
+        sniffer = Sniffer(cluster.network)
+        client.qp.post_send(WorkRequest.read(
+            wr_id=1, local=Sge(client.mr, client.buf.addr(0), 64),
+            remote=RemoteAddr(server.buf.addr(0), server.mr.rkey)))
+        cluster.sim.run_until_idle()
+        opcodes = [r.opcode for r in sniffer.records]
+        assert Opcode.RDMA_READ_REQUEST in opcodes
+        assert Opcode.RDMA_READ_RESPONSE_ONLY in opcodes
+
+    def test_lid_filter(self):
+        cluster, client, server = make_connected_pair()
+        sniffer = Sniffer(cluster.network, lid=999)  # nobody's LID
+        client.qp.post_send(WorkRequest.read(
+            wr_id=1, local=Sge(client.mr, client.buf.addr(0), 64),
+            remote=RemoteAddr(server.buf.addr(0), server.mr.rkey)))
+        cluster.sim.run_until_idle()
+        assert sniffer.records == []
+
+    def test_detach_stops_capturing(self):
+        cluster, client, server = make_connected_pair()
+        sniffer = Sniffer(cluster.network)
+        sniffer.detach()
+        client.qp.post_send(WorkRequest.read(
+            wr_id=1, local=Sge(client.mr, client.buf.addr(0), 64),
+            remote=RemoteAddr(server.buf.addr(0), server.mr.rkey)))
+        cluster.sim.run_until_idle()
+        assert sniffer.records == []
+
+    def test_dump_renders_lines(self):
+        cluster, client, server = make_connected_pair()
+        sniffer = Sniffer(cluster.network)
+        client.qp.post_send(WorkRequest.read(
+            wr_id=1, local=Sge(client.mr, client.buf.addr(0), 64),
+            remote=RemoteAddr(server.buf.addr(0), server.mr.rkey)))
+        cluster.sim.run_until_idle()
+        dump = sniffer.dump()
+        assert "RDMA_READ_REQUEST" in dump
+        assert "psn=" in dump
+
+
+class TestWorkflowExtraction:
+    """Figure 1 reconstructed from captures."""
+
+    def test_server_side_workflow_shows_rnr_nak_then_retransmission(self):
+        result = run_single_read(OdpSetup.SERVER)
+        labels = [s.label for s in result.steps]
+        assert "RNR NAK" in labels
+        nak_index = labels.index("RNR NAK")
+        retx = [s for s in result.steps[nak_index:]
+                if s.retransmission and s.label == "RDMA_READ_REQUEST"]
+        assert retx, "no retransmission after the RNR NAK"
+        # the actual wait is ~3.5x the configured 1.28 ms
+        wait_ms = (retx[0].time_ns - result.steps[nak_index].time_ns) / 1e6
+        assert 3.0 < wait_ms < 6.5
+
+    def test_client_side_workflow_has_no_rnr_nak(self):
+        result = run_single_read(OdpSetup.CLIENT)
+        assert result.rnr_naks == 0
+        retx = [s for s in result.steps if s.retransmission]
+        assert retx, "client-side ODP must blindly retransmit"
+        # ~0.5 ms-scale retransmission
+        first_retx_ms = (retx[0].time_ns - result.steps[0].time_ns) / 1e6
+        assert 0.3 < first_retx_ms < 1.5
+
+    def test_render_is_readable(self):
+        for result in run_figure1():
+            text = result.render()
+            assert "READ" in text
+            assert "ms" in text
+
+
+class TestPitfallDetectors:
+    def test_damming_detected_in_figure5_run(self):
+        result = run_figure5(OdpSetup.BOTH, interval_ms=1.0)
+        assert result.damming.detected
+        assert result.damming.stall_ns > 100e6  # the ~500 ms silence
+        assert result.flaw_drops >= 1
+        assert "silence" in result.render()
+
+    def test_no_damming_detected_in_clean_run(self):
+        result = run_figure5(OdpSetup.NONE, interval_ms=1.0)
+        assert not result.damming.detected
+
+    def test_figure8_shows_seq_nak_and_no_timeout(self):
+        result = run_figure8(interval_ms=3.0)
+        assert result.seq_naks >= 1
+        assert result.timeouts == 0
+        assert "NAK (PSN Sequence Error)" in result.render()
+        assert result.execution_ms < 20
+
+    def test_flood_detected_in_multi_qp_run(self):
+        from repro.bench.microbench import MicrobenchConfig, run_microbench
+        from repro.host.cluster import build_pair
+        # craft a capture by running the flood microbench with a sniffer:
+        # easier to build from the fig9-style run below
+        from repro.sim.timebase import MS as _MS
+        import repro.bench.microbench as mb
+
+        config = MicrobenchConfig(size=32, num_ops=512, num_qps=128,
+                                  odp=OdpSetup.CLIENT, cack=18,
+                                  min_rnr_timer_ns=round(1.28 * _MS))
+        records = _captured_flood_records(config)
+        report = detect_flood(records)
+        assert report.detected
+        assert report.max_psn_repeats >= 10
+        assert report.qps_involved >= 2
+
+    def test_no_flood_in_single_qp_run(self):
+        from repro.bench.microbench import MicrobenchConfig
+        from repro.sim.timebase import MS as _MS
+        config = MicrobenchConfig(size=32, num_ops=64, num_qps=1,
+                                  odp=OdpSetup.CLIENT, cack=18,
+                                  min_rnr_timer_ns=round(1.28 * _MS))
+        records = _captured_flood_records(config)
+        assert not detect_flood(records).detected
+
+    def test_packets_per_ms_buckets(self):
+        from repro.bench.microbench import MicrobenchConfig
+        config = MicrobenchConfig(size=32, num_ops=64, num_qps=64,
+                                  odp=OdpSetup.CLIENT, cack=18)
+        records = _captured_flood_records(config)
+        series = packets_per_ms(records)
+        assert series
+        assert sum(count for _t, count in series) == len(records)
+
+
+def _captured_flood_records(config):
+    """Run the micro-benchmark with a sniffer attached."""
+    from repro.bench.microbench import run_microbench
+
+    sniffers = []
+    run_microbench(config,
+                   on_cluster=lambda c: sniffers.append(Sniffer(c.network)))
+    return sniffers[0].records

@@ -1,0 +1,102 @@
+"""Tests for the device registry and profile arithmetic."""
+
+import pytest
+
+from repro.ib.device import (ACK_TIMEOUT_BASE_NS, DeviceProfile,
+                             TABLE1_SYSTEMS, get_device, get_system,
+                             list_devices)
+
+
+class TestRegistry:
+    def test_all_generations_present(self):
+        models = list_devices()
+        for model in ("ConnectX-3", "ConnectX-4", "ConnectX-5",
+                      "ConnectX-6"):
+            assert model in models
+
+    def test_unknown_model_rejected_with_hint(self):
+        with pytest.raises(KeyError) as err:
+            get_device("ConnectX-9")
+        assert "known" in str(err.value)
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(KeyError):
+            get_system("Frontier")
+
+    def test_table1_rows_match_paper(self):
+        rows = {s.name: s for s in TABLE1_SYSTEMS}
+        assert rows["Private servers A"].device.model == "ConnectX-3"
+        assert rows["Private servers B"].firmware_version == "12.27.1016"
+        assert rows["Reedbush-L"].rate_label == "100Gbps EDR"
+        assert rows["ITO"].psid == "FJT2180110032"
+        assert rows["Azure VM HBv2 Series"].device.model == "ConnectX-6"
+        assert rows["Azure VM HBv2 Series"].rate_label == "200Gbps HDR"
+
+    def test_odp_capability_by_generation(self):
+        assert not get_device("ConnectX-3").odp_capable  # mlx4
+        for model in ("ConnectX-4", "ConnectX-5", "ConnectX-6"):
+            assert get_device(model).odp_capable
+
+    def test_damming_flaw_is_cx4_specific(self):
+        # NVIDIA: "a problem derived from a method specific to ConnectX-4"
+        assert get_device("ConnectX-4").damming_flaw
+        assert get_device("ConnectX-4 EDR").damming_flaw
+        assert not get_device("ConnectX-5").damming_flaw
+        assert not get_device("ConnectX-6").damming_flaw
+
+
+class TestProfileArithmetic:
+    def test_ack_timeout_base_is_4096ns(self):
+        assert ACK_TIMEOUT_BASE_NS == 4_096
+
+    def test_nominal_timeout_doubles_per_step(self):
+        cx4 = get_device("ConnectX-4")
+        assert cx4.nominal_timeout_ns(17) == 2 * cx4.nominal_timeout_ns(16)
+
+    def test_zero_cack_disables(self):
+        cx4 = get_device("ConnectX-4")
+        assert cx4.effective_cack(0) == 0
+        assert cx4.nominal_timeout_ns(0) == 0
+        assert cx4.detection_timeout_ns(0) == 0
+
+    def test_rnr_delay_factor(self):
+        cx4 = get_device("ConnectX-4")
+        # configured 1.28 ms -> actual ~4.5 ms (Figure 1)
+        actual = cx4.actual_rnr_delay_ns(1_280_000)
+        assert 4_000_000 < actual < 5_000_000
+
+    def test_rnr_delay_floor(self):
+        cx4 = get_device("ConnectX-4")
+        assert cx4.actual_rnr_delay_ns(100) == cx4.rnr_delay_min_ns
+
+    def test_without_quirks_keeps_timeout_model(self):
+        cx4 = get_device("ConnectX-4")
+        clean = cx4.without_quirks()
+        assert not clean.damming_flaw
+        assert clean.status_congestion_gamma == 0.0
+        # the timeout floors are spec/vendor behaviour, not a quirk
+        assert clean.min_cack == cx4.min_cack
+        assert clean.detection_timeout_ns(1) == cx4.detection_timeout_ns(1)
+
+    def test_registration_cost_linear(self):
+        cx4 = get_device("ConnectX-4")
+        base = cx4.registration_cost_ns(0)
+        assert cx4.registration_cost_ns(10) == base + 10 * cx4.reg_per_page_ns
+
+    def test_profiles_are_frozen(self):
+        cx4 = get_device("ConnectX-4")
+        with pytest.raises(Exception):
+            cx4.min_cack = 1  # type: ignore[misc]
+
+
+class TestCrossGenerationContrast:
+    def test_cx5_floor_is_16x_lower(self):
+        cx4 = get_device("ConnectX-4")
+        cx5 = get_device("ConnectX-5")
+        ratio = cx4.detection_timeout_ns(1) / cx5.detection_timeout_ns(1)
+        assert ratio == pytest.approx(2 ** (16 - 12), rel=0.01)
+
+    def test_link_rates_by_generation(self):
+        assert get_device("ConnectX-3").rate == "FDR"
+        assert get_device("ConnectX-5").rate == "EDR"
+        assert get_device("ConnectX-6").rate == "HDR"

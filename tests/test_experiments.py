@@ -1,0 +1,131 @@
+"""Tests for the experiment runners (small parameterisations)."""
+
+import pytest
+
+from repro.bench.microbench import OdpSetup
+from repro.experiments.fig04_damming import run_figure4
+from repro.experiments.fig06_probability import run_figure6a, run_figure6b
+from repro.experiments.fig07_more_reads import run_figure7
+from repro.experiments.fig09_flood import run_figure9
+from repro.experiments.fig10_layout import run_figure10
+from repro.experiments.fig11_completion import run_figure11
+from repro.experiments.tables import render_table1, render_table2
+
+
+class TestTables:
+    def test_table1_rows(self):
+        text = render_table1()
+        for name in ("Private servers A", "Reedbush-L", "ITO",
+                     "Azure VM HBv2 Series"):
+            assert name in text
+        assert "MT_2170111021" in text  # KNL PSID
+
+    def test_table2_rows(self):
+        text = render_table2()
+        assert "Xeon Phi CPU 7250" in text
+        assert "272" in text
+
+
+class TestFigure4:
+    def test_plateau_inside_expected_interval_range(self):
+        result = run_figure4(intervals_ms=[0.02, 1.0, 3.0, 6.0], trials=3)
+        plateau = result.plateau_intervals_ms()
+        assert 1.0 in plateau and 3.0 in plateau
+        assert 0.02 not in plateau and 6.0 not in plateau
+
+    def test_plateau_height_is_the_timeout(self):
+        result = run_figure4(intervals_ms=[1.0], trials=3)
+        assert 0.4 < result.points[0].mean_exec_s < 0.7
+        assert result.points[0].timeout_fraction == 1.0
+
+    def test_render(self):
+        result = run_figure4(intervals_ms=[1.0, 6.0], trials=2)
+        text = result.render()
+        assert "interval" in text and "Figure 4" in text
+
+
+class TestFigure6:
+    def test_server_range_tracks_rnr_delay(self):
+        result = run_figure6a(intervals_ms=[1.0, 3.0, 6.0],
+                              rnr_delays_ms=[0.01, 1.28, 10.24], trials=4)
+        tiny = next(c for c in result.curves if c.label == "0.01 ms")
+        mid = next(c for c in result.curves if c.label == "1.28 ms")
+        big = next(c for c in result.curves if c.label == "10.24 ms")
+        assert tiny.range_end_ms() < mid.range_end_ms() <= big.range_end_ms()
+        assert big.points[6.0] >= 0.75  # still timing out at 6 ms
+
+    def test_client_range_is_sub_millisecond(self):
+        result = run_figure6b(intervals_ms=[0.3, 2.0, 4.0], trials=4)
+        curve = result.curves[0]
+        assert curve.points[0.3] >= 0.75
+        assert curve.points[2.0] <= 0.25
+        assert curve.points[4.0] == 0.0
+
+    def test_render(self):
+        result = run_figure6b(intervals_ms=[0.3], trials=2)
+        assert "client-side" in result.render()
+
+
+class TestFigure7:
+    def test_range_narrows_with_more_operations(self):
+        result = run_figure7(num_ops_list=[2, 3, 4],
+                             intervals_ms=[1.0, 2.0, 3.0, 4.0], trials=4)
+        r2 = result.range_end_ms(2)
+        r3 = result.range_end_ms(3)
+        r4 = result.range_end_ms(4)
+        assert r2 >= r3 >= r4
+        assert r2 >= 4.0  # 2 ops dam through the whole RNR window
+        assert r4 <= 2.0
+
+
+class TestFigure9:
+    def test_small_sweep_shapes(self):
+        result = run_figure9(qps_values=[1, 64], scale=16,
+                             modes=[OdpSetup.NONE, OdpSetup.CLIENT])
+        base = result.curves[OdpSetup.NONE]
+        client = result.curves[OdpSetup.CLIENT]
+        # no-ODP flat and fast
+        assert all(p.execution_s < 0.05 for p in base)
+        # client-side ODP degrades with QPs
+        assert client[1].execution_s > 2 * client[0].execution_s
+        assert client[1].packets > 1.5 * base[1].packets
+        assert result.degradation_factor() > 3
+
+    def test_render(self):
+        result = run_figure9(qps_values=[1, 32], scale=32,
+                             modes=[OdpSetup.NONE, OdpSetup.CLIENT])
+        text = result.render()
+        assert "Figure 9a" in text and "Figure 9b" in text
+
+
+class TestFigure10:
+    def test_layout_matches_paper(self):
+        result = run_figure10(size=32, num_qps=128, num_ops=512)
+        assert result.ops_per_page() == 128
+        # op 127 is the last on page 0; op 128 starts page 1
+        rows = {op: (qp, off, page) for op, qp, off, page in result.rows}
+        assert rows[127] == (127, 127 * 32, 0)
+        assert rows[128] == (0, 4096, 1)
+        assert rows[511][2] == 3
+
+    def test_render(self):
+        assert "Figure 10" in run_figure10().render()
+
+
+class TestFigure11:
+    def test_128_ops_straggle_past_fault_resolution(self):
+        result = run_figure11(128)
+        assert result.timeouts == 0
+        assert result.early_ops_finish_last
+        assert 2 < result.last_op_completion_ms < 20
+        assert list(result.completion_ms_by_page) == [0]
+
+    def test_512_ops_reach_hundreds_of_ms(self):
+        result = run_figure11(512)
+        assert sorted(result.completion_ms_by_page) == [0, 1, 2, 3]
+        last = max(max(ts) for ts in result.completion_ms_by_page.values())
+        assert 50 < last < 1000
+
+    def test_render(self):
+        text = run_figure11(128).render()
+        assert "page" in text and "Cumulative" in text

@@ -1,0 +1,104 @@
+"""Cross-stack integration tests: applications + devices + detectors."""
+
+import pytest
+
+from repro.apps.argodsm.dsm import ArgoCluster
+from repro.apps.spark.engine import ShuffleRound, SparkCluster
+from repro.capture.analyze import detect_damming, detect_flood
+from repro.capture.sniffer import Sniffer
+from repro.sim.process import Process
+
+
+class TestArgoAcrossDevices:
+    def _init_time_and_timeouts(self, device, lock_delay_ns=2_000_000,
+                                seed=0):
+        cluster = ArgoCluster(ranks=2, device=device,
+                              env={"UCX_IB_PREFER_ODP": "y"}, seed=seed)
+
+        def boot():
+            yield from cluster.init_process(1 << 20,
+                                            lock_delay_ns=lock_delay_ns)
+            yield from cluster.finalize_process()
+
+        proc = Process(cluster.sim, boot())
+        cluster.sim.run_until_idle()
+        _ = proc.result
+        timeouts = sum(ep.qp.requester.timeouts
+                       for rank in cluster.ranks
+                       for ep in rank.ucx.endpoints)
+        return cluster.sim.now, timeouts
+
+    def test_cx4_dams_cx6_does_not(self):
+        # same DSM, same timing; only the device generation differs
+        _t4, timeouts4 = self._init_time_and_timeouts("ConnectX-4")
+        _t6, timeouts6 = self._init_time_and_timeouts("ConnectX-6")
+        assert timeouts4 >= 1
+        assert timeouts6 == 0
+
+    def test_odp_off_never_dams_regardless_of_device(self):
+        cluster = ArgoCluster(ranks=2, device="ConnectX-4",
+                              env={"UCX_IB_PREFER_ODP": "n"})
+
+        def boot():
+            yield from cluster.init_process(1 << 20,
+                                            lock_delay_ns=2_000_000)
+
+        proc = Process(cluster.sim, boot())
+        cluster.sim.run_until_idle()
+        _ = proc.result
+        timeouts = sum(ep.qp.requester.timeouts
+                       for rank in cluster.ranks
+                       for ep in rank.ucx.endpoints)
+        assert timeouts == 0
+
+
+class TestSparkWithDetectors:
+    def test_flood_signature_visible_on_the_wire(self):
+        cluster = SparkCluster(workers=2, total_qps=128,
+                               env={"UCX_IB_PREFER_ODP": "y"})
+        sniffer = Sniffer(cluster.fabric.network)
+        proc = cluster.run_job([ShuffleRound(compute_ns=0, fetches_per_qp=2,
+                                             cold_pages=128)])
+        cluster.sim.run_until_idle()
+        _ = proc.result
+        report = detect_flood(sniffer.records, min_repeats=5)
+        assert report.detected
+        assert report.qps_involved >= 10
+
+    def test_pinned_shuffle_shows_no_flood(self):
+        cluster = SparkCluster(workers=2, total_qps=128,
+                               env={"UCX_IB_PREFER_ODP": "n"})
+        sniffer = Sniffer(cluster.fabric.network)
+        proc = cluster.run_job([ShuffleRound(compute_ns=0, fetches_per_qp=2,
+                                             cold_pages=128)])
+        cluster.sim.run_until_idle()
+        _ = proc.result
+        assert not detect_flood(sniffer.records, min_repeats=5).detected
+        assert not detect_damming(sniffer.records).detected
+
+
+class TestLessonsLearned:
+    """Section IX-A as executable documentation."""
+
+    def test_detection_needs_raw_packets(self):
+        """'Detecting the pitfalls becomes extremely hard without
+        observing the raw packets': the CQE carries no error."""
+        from repro.bench.microbench import (MicrobenchConfig, OdpSetup,
+                                            run_microbench)
+        result = run_microbench(MicrobenchConfig(
+            num_ops=2, odp=OdpSetup.BOTH, interval_us=1000,
+            min_rnr_timer_ns=1_280_000))
+        assert result.timed_out           # half a second vanished...
+        assert result.errors == 0         # ...yet every CQE says SUCCESS
+
+    def test_ucx_prefers_odp_silently(self):
+        """'UCX prioritized ODP over direct memory registration by
+        default, and we were even unaware of the use of ODP'."""
+        from repro.host.cluster import build_pair
+        from repro.ucx.context import UcxContext
+
+        cluster = build_pair(device="ConnectX-4")
+        ucx = UcxContext(cluster.nodes[0])  # default config, no env
+        memory = ucx.mem_map(cluster.nodes[0].mmap(4096))
+        assert memory.mr.mode.is_odp
+        assert ucx.using_odp

@@ -1,0 +1,153 @@
+"""Packet damming (Section V): emergence, interval ranges, recovery."""
+
+import pytest
+
+from repro.bench.microbench import MicrobenchConfig, OdpSetup, run_microbench
+from repro.ib.device import get_device
+from repro.sim.timebase import MS
+
+
+def run(num_ops, odp, interval_ms, seed=0, device="ConnectX-4",
+        rnr_ms=1.28, profile=None, cack=1):
+    return run_microbench(MicrobenchConfig(
+        num_ops=num_ops, odp=odp, interval_us=interval_ms * 1000,
+        min_rnr_timer_ns=round(rnr_ms * MS), seed=seed, device=device,
+        profile=profile, cack=cack))
+
+
+class TestTwoReadDamming:
+    """Figures 4 and 5."""
+
+    def test_timeout_with_interval_in_window(self):
+        result = run(2, OdpSetup.BOTH, 1.0)
+        assert result.timed_out
+        # several hundred milliseconds: the ~500 ms ConnectX-4 timeout
+        assert 0.4 < result.execution_time_s < 0.7
+        assert result.flaw_drops >= 1
+        assert result.errors == 0  # the retry eventually succeeds
+
+    def test_all_data_still_arrives(self):
+        result = run(2, OdpSetup.BOTH, 1.0)
+        assert len(result.completions) == 2
+
+    def test_no_timeout_below_the_window(self):
+        # Figure 4: fast below ~100 us (the RNR NAK has not reached the
+        # requester yet, so the second request is transmitted and seen)
+        result = run(2, OdpSetup.BOTH, 0.02)
+        assert not result.timed_out
+        assert result.execution_time_s < 0.05
+
+    def test_no_timeout_above_the_window(self):
+        result = run(2, OdpSetup.BOTH, 6.0)
+        assert not result.timed_out
+        assert result.execution_time_s < 0.05
+
+    def test_server_side_window_tracks_rnr_delay(self):
+        # Figure 6a: with delay 1.28 ms the window reaches ~4.5 ms
+        in_window = run(2, OdpSetup.SERVER, 3.0, rnr_ms=1.28)
+        beyond = run(2, OdpSetup.SERVER, 6.0, rnr_ms=1.28)
+        assert in_window.timed_out
+        assert not beyond.timed_out
+
+    def test_server_side_window_shrinks_with_tiny_rnr_delay(self):
+        # Figure 6a, 0.01 ms legend: the window collapses
+        result = run(2, OdpSetup.SERVER, 3.0, rnr_ms=0.01)
+        assert not result.timed_out
+
+    def test_server_side_window_grows_with_large_rnr_delay(self):
+        # Figure 6a, 10.24 ms legend: the whole plotted range times out
+        result = run(2, OdpSetup.SERVER, 6.0, rnr_ms=10.24)
+        assert result.timed_out
+
+    def test_client_side_window_is_sub_millisecond(self):
+        # Figure 6b: timeouts up to ~0.5 ms, gone by ~1.5 ms
+        assert run(2, OdpSetup.CLIENT, 0.3).timed_out
+        assert not run(2, OdpSetup.CLIENT, 1.5).timed_out
+
+    def test_client_side_window_independent_of_rnr_delay(self):
+        # Figure 6b tests only 1.28 ms because the knob is irrelevant
+        for rnr in (0.01, 10.24):
+            assert run(2, OdpSetup.CLIENT, 0.3, rnr_ms=rnr).timed_out
+
+
+class TestDammingConditions:
+    """Section V-C: the conditions under which damming occurs."""
+
+    def test_independent_of_other_qps(self):
+        # the dammed QP waits out its timeout even with other QPs around
+        result = run_microbench(MicrobenchConfig(
+            num_ops=4, num_qps=2, odp=OdpSetup.BOTH, interval_us=1000,
+            min_rnr_timer_ns=round(1.28 * MS)))
+        assert result.timed_out
+
+    def test_not_related_to_second_operation_page(self):
+        # ops on different pages (size 4096) still dam
+        result = run_microbench(MicrobenchConfig(
+            num_ops=2, size=4096, odp=OdpSetup.BOTH, interval_us=1000,
+            min_rnr_timer_ns=round(1.28 * MS)))
+        assert result.timed_out
+
+    def test_message_size_irrelevant(self):
+        for size in (8, 100, 1024):
+            result = run_microbench(MicrobenchConfig(
+                num_ops=2, size=size, odp=OdpSetup.BOTH, interval_us=1000,
+                min_rnr_timer_ns=round(1.28 * MS)))
+            assert result.timed_out, f"size {size} did not dam"
+
+    def test_no_damming_without_odp(self):
+        result = run(2, OdpSetup.NONE, 1.0)
+        assert not result.timed_out
+        assert result.flaw_drops == 0
+
+    def test_no_damming_on_connectx6(self):
+        # Section V-C / IX-B: vendor confirmed the flaw is CX-4 specific
+        result = run(2, OdpSetup.BOTH, 1.0, device="ConnectX-6")
+        assert not result.timed_out
+
+    def test_no_damming_with_flaw_disabled(self):
+        profile = get_device("ConnectX-4").without_quirks()
+        result = run(2, OdpSetup.BOTH, 1.0, profile=profile)
+        assert not result.timed_out
+
+
+class TestMoreReads:
+    """Figures 7 and 8."""
+
+    def test_three_ops_narrow_the_range(self):
+        # 3 ops at 3 ms: the third triggers NAK(PSN) recovery
+        result = run(3, OdpSetup.BOTH, 3.0)
+        assert not result.timed_out
+        assert result.seq_naks >= 1
+        assert result.execution_time_s < 0.05
+
+    def test_three_ops_still_dam_when_all_fit_in_window(self):
+        result = run(3, OdpSetup.BOTH, 1.0)
+        assert result.timed_out
+
+    def test_four_ops_narrow_further(self):
+        assert not run(4, OdpSetup.BOTH, 2.0).timed_out
+        assert run(4, OdpSetup.BOTH, 0.8).timed_out
+
+    def test_recovery_retransmits_immediately(self):
+        # Figure 8: "the retransmission was conducted ... immediately"
+        result = run(3, OdpSetup.SERVER, 3.0)
+        assert not result.timed_out
+        assert result.seq_naks >= 1
+        # within ~10 ms: RNR wait + recovery, no 500 ms stall
+        assert result.execution_time_s < 0.02
+
+
+class TestDammingWorkarounds:
+    """Section IX-A."""
+
+    def test_smallest_rnr_delay_narrows_the_window(self):
+        # workaround 1: with the smallest delay the 3 ms interval is safe
+        dammed = run(2, OdpSetup.SERVER, 3.0, rnr_ms=1.28)
+        safe = run(2, OdpSetup.SERVER, 3.0, rnr_ms=0.01)
+        assert dammed.timed_out and not safe.timed_out
+
+    def test_dummy_communication_rescues_the_dam(self):
+        # workaround 2: an extra operation forces the PSN-sequence NAK
+        dammed = run(2, OdpSetup.BOTH, 3.0)
+        rescued = run(3, OdpSetup.BOTH, 3.0)  # third op = the dummy
+        assert dammed.timed_out and not rescued.timed_out

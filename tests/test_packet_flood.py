@@ -1,0 +1,114 @@
+"""Packet flood (Section VI): emergence, scaling, LIFO drain."""
+
+import pytest
+
+from repro.bench.microbench import MicrobenchConfig, OdpSetup, run_microbench
+from repro.ib.device import get_device
+from repro.sim.timebase import MS
+
+
+def flood_config(num_ops, num_qps, odp=OdpSetup.CLIENT, size=32, seed=0,
+                 profile=None):
+    return MicrobenchConfig(
+        size=size, num_ops=num_ops, num_qps=num_qps, odp=odp,
+        cack=18, min_rnr_timer_ns=round(1.28 * MS), seed=seed,
+        profile=profile)
+
+
+class TestFloodEmergence:
+    def test_single_qp_is_normal(self):
+        result = run_microbench(flood_config(128, 1))
+        # one page fault, everything pipelines: low single-digit ms
+        assert result.execution_time_s < 0.01
+        assert result.blind_retransmit_rounds < 10
+
+    def test_many_qps_stall_beyond_fault_resolution(self):
+        # Figure 11a: fault resolves ~1 ms but stragglers last for
+        # several more milliseconds
+        result = run_microbench(flood_config(128, 128))
+        assert 0.002 < result.execution_time_s < 0.02
+        assert result.blind_retransmit_rounds >= 1
+        assert result.responses_discarded_odp >= 128
+
+    def test_flood_is_client_side_only(self):
+        # Section VI-C: the server is stateless, the client stateful
+        client = run_microbench(flood_config(128, 128, OdpSetup.CLIENT))
+        server = run_microbench(flood_config(128, 128, OdpSetup.SERVER))
+        assert client.blind_retransmit_rounds > 0
+        # server-side ODP resolves each page once; no blind storm
+        assert server.blind_retransmit_rounds == 0
+
+    def test_packet_explosion_with_many_qps(self):
+        # Figure 9b: packet counts grow far beyond the baseline
+        few = run_microbench(flood_config(512, 2))
+        many = run_microbench(flood_config(512, 128))
+        assert many.total_packets > 3 * few.total_packets
+        assert many.blind_retransmit_rounds > 10 * few.blind_retransmit_rounds
+
+    def test_first_operations_finish_last(self):
+        # Figure 11a: LIFO page-status drain
+        result = run_microbench(flood_config(128, 128))
+        completion = {wr_id: t for wr_id, t, _ in result.completions}
+        first_30 = sum(completion[i] for i in range(30)) / 30
+        last_30 = sum(completion[i] for i in range(98, 128)) / 30
+        assert first_30 > last_30
+
+    def test_completion_tracks_status_engine_not_fault(self):
+        # the translation is installed once, yet ops trickle out
+        result = run_microbench(flood_config(128, 128))
+        assert result.client_page_faults >= 128  # one stale view per QP
+        times = sorted(t for _w, t, _s in result.completions)
+        spread = times[-1] - times[0]
+        assert spread > 1 * MS  # not an instantaneous batch
+
+
+class TestFloodScaling:
+    def test_512_ops_stall_hundreds_of_ms(self):
+        # Figure 11b
+        result = run_microbench(flood_config(512, 128))
+        assert 0.05 < result.execution_time_s < 1.0
+
+    def test_four_pages_complete_in_waves(self):
+        result = run_microbench(flood_config(512, 128))
+        by_page = result.completion_times_by_page()
+        assert sorted(by_page) == [0, 1, 2, 3]
+        firsts = [min(by_page[p]) for p in sorted(by_page)]
+        assert firsts == sorted(firsts)  # page onsets in order
+
+    def test_quirkless_device_has_no_flood(self):
+        profile = get_device("ConnectX-4").without_quirks()
+        result = run_microbench(flood_config(512, 128, profile=profile))
+        assert result.execution_time_s < 0.02
+
+    def test_flood_also_on_connectx6(self):
+        # Section IX-B: flood "remains in the latest InfiniBand cards"
+        result = run_microbench(MicrobenchConfig(
+            size=32, num_ops=128, num_qps=128, odp=OdpSetup.CLIENT,
+            cack=18, min_rnr_timer_ns=round(1.28 * MS),
+            device="ConnectX-6"))
+        assert result.blind_retransmit_rounds >= 1
+        assert result.execution_time_s > 0.002
+
+
+class TestFloodWorkaround:
+    def test_reissuing_completes_quickly_after_flood(self):
+        """Section IX-A: 'issuing the same communication again might
+        work because the page fault itself is actually solved'."""
+        from tests.helpers import make_connected_pair
+        from repro.ib.verbs.enums import OdpMode
+        from repro.ib.verbs.wr import RemoteAddr, Sge, WorkRequest
+
+        cluster, client, server = make_connected_pair(
+            client_odp=OdpMode.EXPLICIT, populate=False)
+        server.buf.write(0, b"x" * 64)
+        client.qp.post_send(WorkRequest.read(
+            wr_id=1, local=Sge(client.mr, client.buf.addr(0), 64),
+            remote=RemoteAddr(server.buf.addr(0), server.mr.rkey)))
+        cluster.sim.run_until_idle()
+        t0 = cluster.sim.now
+        # the page status is now fresh: a re-issued READ is instant
+        client.qp.post_send(WorkRequest.read(
+            wr_id=2, local=Sge(client.mr, client.buf.addr(0), 64),
+            remote=RemoteAddr(server.buf.addr(0), server.mr.rkey)))
+        cluster.sim.run_until_idle()
+        assert cluster.sim.now - t0 < 100_000  # < 100 us

@@ -1,0 +1,120 @@
+"""Property-based tests for PSN arithmetic and core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ib.transport.psn import PSN_MASK, psn_add, psn_cmp, psn_diff
+
+psns = st.integers(min_value=0, max_value=PSN_MASK)
+small_deltas = st.integers(min_value=-(1 << 22), max_value=(1 << 22))
+
+
+class TestPsnProperties:
+    @given(psns, small_deltas)
+    def test_add_then_diff_roundtrips(self, psn, delta):
+        assert psn_diff(psn_add(psn, delta), psn) == delta
+
+    @given(psns)
+    def test_add_zero_is_identity(self, psn):
+        assert psn_add(psn, 0) == psn
+
+    @given(psns, small_deltas, small_deltas)
+    def test_add_is_associative_mod_wrap(self, psn, a, b):
+        assert psn_add(psn_add(psn, a), b) == psn_add(psn, a + b)
+
+    @given(psns, psns)
+    def test_diff_antisymmetry(self, a, b):
+        d1, d2 = psn_diff(a, b), psn_diff(b, a)
+        if d1 == -(1 << 23):  # the half-window point is its own negation
+            assert d2 == -(1 << 23)
+        else:
+            assert d1 == -d2
+
+    @given(psns)
+    def test_cmp_equal(self, psn):
+        assert psn_cmp(psn, psn) == 0
+
+    @given(psns, st.integers(min_value=1, max_value=(1 << 23) - 1))
+    def test_forward_distance_is_after(self, psn, delta):
+        later = psn_add(psn, delta)
+        assert psn_cmp(later, psn) == 1
+        assert psn_cmp(psn, later) == -1
+
+    @given(psns, small_deltas)
+    def test_results_stay_in_24_bits(self, psn, delta):
+        assert 0 <= psn_add(psn, delta) <= PSN_MASK
+
+
+class TestWireSizeProperties:
+    @given(st.binary(min_size=0, max_size=4096))
+    def test_wire_size_grows_with_payload(self, payload):
+        from repro.ib.opcodes import Opcode
+        from repro.ib.packets import BASE_HEADER_BYTES, Packet
+
+        packet = Packet(1, 2, 3, 4, Opcode.SEND_ONLY, 0, payload=payload)
+        assert packet.wire_size == BASE_HEADER_BYTES + len(payload)
+
+    @given(st.integers(min_value=0, max_value=PSN_MASK))
+    def test_describe_never_crashes(self, psn):
+        from repro.ib.opcodes import Opcode
+        from repro.ib.packets import Packet
+
+        packet = Packet(1, 2, 3, 4, Opcode.RDMA_READ_REQUEST, psn)
+        assert str(psn) in packet.describe()
+
+
+class TestMemoryProperties:
+    @given(st.binary(min_size=1, max_size=10_000),
+           st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=50)
+    def test_write_read_roundtrip(self, data, offset):
+        from repro.host.memory import VirtualMemory
+
+        vm = VirtualMemory(lambda: 0)
+        region = vm.mmap(offset + len(data) + 1)
+        region.write(offset, data)
+        assert region.read(offset, len(data)) == data
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.binary(min_size=1,
+                                                            max_size=64)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_overlapping_writes_behave_like_bytearray(self, writes):
+        from repro.host.memory import VirtualMemory
+
+        vm = VirtualMemory(lambda: 0)
+        region = vm.mmap(256)
+        shadow = bytearray(256)
+        for offset, data in writes:
+            data = data[:256 - offset]
+            region.write(offset, data)
+            shadow[offset:offset + len(data)] = data
+        assert region.read(0, 256) == bytes(shadow)
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    @settings(max_examples=50)
+    def test_pages_of_range_covers_exactly(self, size):
+        from repro.host.memory import PAGE_SIZE, VirtualMemory
+
+        base = 0x10_0000
+        pages = VirtualMemory.pages_of_range(base, size)
+        assert pages[0] == base // PAGE_SIZE
+        assert pages[-1] == (base + size - 1) // PAGE_SIZE
+        assert pages == sorted(set(pages))
+
+
+class TestEngineProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_event_order_matches_sorted_delays(self, delays):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        fired = []
+        for index, delay in enumerate(delays):
+            sim.schedule(delay, lambda i=index: fired.append(i))
+        sim.run_until_idle()
+        expected = [i for _d, i in
+                    sorted((d, i) for i, d in enumerate(delays))]
+        assert fired == expected

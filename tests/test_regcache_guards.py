@@ -1,0 +1,201 @@
+"""Tests for the pin-down cache and the software pitfall guards."""
+
+import pytest
+
+from repro.host.cluster import build_pair
+from repro.ib.regcache import PinDownCache
+from repro.ib.verbs.enums import Access, OdpMode
+from repro.ib.verbs.qp import QpAttrs
+from repro.ib.verbs.wr import RemoteAddr, Sge, WorkRequest
+from repro.sim.timebase import MS
+from repro.ucx.config import UcxConfig
+from repro.ucx.context import UcxContext, connect_endpoints
+from repro.ucx.guards import DamGuard, FloodGuard
+
+from tests.helpers import make_connected_pair
+
+
+class TestPinDownCache:
+    def make_cache(self, capacity_bytes=1 << 20):
+        cluster = build_pair()
+        node = cluster.nodes[0]
+        pd = node.open_device().alloc_pd()
+        return cluster, node, PinDownCache(pd, capacity_bytes)
+
+    def test_miss_then_hit(self):
+        cluster, node, cache = self.make_cache()
+        region = node.mmap(64 * 1024)
+        first = cache.acquire(region)
+        cluster.sim.run_until_idle()
+        mr1 = first.result
+        t0 = cluster.sim.now
+        second = cache.acquire(region)
+        cluster.sim.run_until_idle()
+        assert second.result is mr1          # reused registration
+        assert cluster.sim.now == t0          # hit costs nothing
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_miss_pays_pinning_cost(self):
+        cluster, node, cache = self.make_cache()
+        region = node.mmap(256 * 4096)
+        t0 = cluster.sim.now
+        cache.acquire(region)
+        cluster.sim.run_until_idle()
+        cost = cluster.sim.now - t0
+        profile = node.rnic.profile
+        assert cost >= profile.registration_cost_ns(256)
+
+    def test_lru_eviction_respects_capacity(self):
+        cluster, node, cache = self.make_cache(capacity_bytes=3 * 64 * 1024)
+        regions = [node.mmap(64 * 1024) for _ in range(4)]
+        for region in regions:
+            cache.acquire(region)
+            cluster.sim.run_until_idle()
+        assert cache.resident_entries == 3
+        assert cache.stats.evictions == 1
+        # the evicted entry is the least recently used (regions[0])
+        again = cache.acquire(regions[0])
+        cluster.sim.run_until_idle()
+        assert cache.stats.misses == 5  # 4 initial + this re-miss
+
+    def test_touch_refreshes_lru_position(self):
+        cluster, node, cache = self.make_cache(capacity_bytes=2 * 64 * 1024)
+        a, b, c = (node.mmap(64 * 1024) for _ in range(3))
+        for region in (a, b):
+            cache.acquire(region)
+            cluster.sim.run_until_idle()
+        cache.acquire(a)  # refresh a: b becomes LRU
+        cluster.sim.run_until_idle()
+        cache.acquire(c)  # evicts b, not a
+        cluster.sim.run_until_idle()
+        hits_before = cache.stats.hits
+        cache.acquire(a)
+        cluster.sim.run_until_idle()
+        assert cache.stats.hits == hits_before + 1
+
+    def test_flush_unpins_everything(self):
+        cluster, node, cache = self.make_cache()
+        for _ in range(3):
+            cache.acquire(node.mmap(4096))
+        cluster.sim.run_until_idle()
+        assert cache.flush() == 3
+        cluster.sim.run_until_idle()
+        assert cache.resident_entries == 0
+        assert cache.stats.bytes_pinned == 0
+
+    def test_cached_mr_is_usable_for_rdma(self):
+        cluster, client, server = make_connected_pair()
+        cache = PinDownCache(client.pd, 1 << 20)
+        region = client.node.mmap(4096)
+        future = cache.acquire(region)
+        cluster.sim.run_until_idle()
+        mr = future.result
+        server.buf.write(0, b"cached-mr read")
+        client.qp.post_send(WorkRequest.read(
+            wr_id=1, local=Sge(mr, region.addr(0), 14),
+            remote=RemoteAddr(server.buf.addr(0), server.mr.rkey)))
+        cluster.sim.run_until_idle()
+        assert region.read(0, 14) == b"cached-mr read"
+
+
+class TestDamGuard:
+    def _ucx_pair(self):
+        cluster = build_pair()
+        config = UcxConfig()  # cack=18, ODP preferred
+        a = UcxContext(cluster.nodes[0], config)
+        b = UcxContext(cluster.nodes[1], config)
+        ep_a, ep_b = a.create_endpoint(), b.create_endpoint()
+        connect_endpoints(ep_a, ep_b)
+        cluster.sim.run_until_idle()
+        return cluster, a, b, ep_a, ep_b
+
+    def _dam_scenario(self, use_guard):
+        """READ + delayed second op on an ODP target: the Fig. 5 recipe."""
+        cluster, a, b, ep_a, ep_b = self._ucx_pair()
+        mem_a = a.mem_map(a.node.mmap(8192))
+        mem_b = b.mem_map(b.node.mmap(8192))
+        # a pinned guard buffer targeting an already-warm remote page
+        guard_region = a.node.mmap(4096, populate=True)
+        guard_mem = a.mem_map(guard_region)
+        warm = b.node.mmap(4096, populate=True)
+        warm_mem = b.mem_map(warm)
+        warm_mem.mr.advise()
+        guard = None
+        if use_guard:
+            guard = DamGuard(ep_a, guard_mem, warm_mem.addr(0),
+                             warm_mem.rkey, period_ns=2 * MS)
+            guard.start()
+        t0 = cluster.sim.now
+        done_at = {}
+        read_future = ep_a.get(mem_a, 0, 64, mem_b.addr(0), mem_b.rkey)
+        read_future.add_callback(
+            lambda _f: done_at.__setitem__("read", cluster.sim.now))
+
+        def post_second():
+            put_future = ep_a.put(mem_a, 128, 64, mem_b.addr(128),
+                                  mem_b.rkey)
+            put_future.add_callback(
+                lambda _f: done_at.__setitem__("put", cluster.sim.now))
+
+        cluster.sim.schedule(1_500_000, post_second)  # inside the window
+        cluster.sim.run(until=cluster.sim.now + int(30e9))
+        if guard:
+            guard.stop()
+        cluster.sim.run_until_idle()
+        elapsed = max(done_at.values()) - t0
+        return elapsed, ep_a.qp.requester.timeouts, guard
+
+    def test_unguarded_qp_dams(self):
+        elapsed, timeouts, _ = self._dam_scenario(use_guard=False)
+        assert timeouts >= 1
+        assert elapsed > 1e9  # ~2 s transport timeout at cack=18
+
+    def test_guard_breaks_the_dam(self):
+        elapsed, timeouts, guard = self._dam_scenario(use_guard=True)
+        assert timeouts == 0
+        assert elapsed < 0.5e9
+        assert guard.dummies_issued >= 1
+
+    def test_guard_idles_when_queue_is_empty(self):
+        cluster, a, b, ep_a, ep_b = self._ucx_pair()
+        region = a.node.mmap(4096, populate=True)
+        mem = a.mem_map(region)
+        warm = b.node.mmap(4096, populate=True)
+        warm_mem = b.mem_map(warm)
+        guard = DamGuard(ep_a, mem, warm_mem.addr(0), warm_mem.rkey,
+                         period_ns=1 * MS)
+        guard.start()
+        cluster.sim.run(until=10 * MS)
+        guard.stop()
+        cluster.sim.run_until_idle()
+        assert guard.dummies_issued == 0  # nothing in flight, no dummies
+
+
+class TestFloodGuard:
+    def test_reissue_fires_after_patience(self):
+        from repro.sim.engine import Simulator
+        from repro.sim.future import Future
+
+        sim = Simulator()
+        guard = FloodGuard(sim, patience_ns=1_000_000, max_reissues=3)
+        stuck = Future()
+        reissues = []
+        guard.watch(stuck, lambda: reissues.append(sim.now))
+        sim.run(until=10_000_000)
+        assert len(reissues) == 3  # bounded by max_reissues
+        assert guard.reissues == 3
+
+    def test_no_reissue_for_fast_completion(self):
+        from repro.sim.engine import Simulator
+        from repro.sim.future import Future
+
+        sim = Simulator()
+        guard = FloodGuard(sim, patience_ns=1_000_000)
+        quick = Future()
+        reissues = []
+        guard.watch(quick, lambda: reissues.append(1))
+        sim.schedule(1000, quick.resolve, None)
+        sim.run_until_idle()
+        assert reissues == []

@@ -1,0 +1,287 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.future import Future, FutureError, all_of
+from repro.sim.process import Process, ProcessError
+from repro.sim.timebase import MS, US, ns_to_ms, ns_to_s, ns_to_us
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, order.append, "c")
+        sim.schedule(10, order.append, "a")
+        sim.schedule(20, order.append, "b")
+        sim.run_until_idle()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 30
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for tag in range(5):
+            sim.schedule(10, order.append, tag)
+        sim.run_until_idle()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.at(50, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, fired.append, 1)
+        event.cancel()
+        sim.run_until_idle()
+        assert fired == []
+        assert not event.pending
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1000, fired.append, 1)
+        sim.run(until=500)
+        assert fired == []
+        sim.run_until_idle()
+        assert fired == [1]
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(sim.now)
+            sim.schedule(5, inner)
+
+        def inner():
+            seen.append(sim.now)
+
+        sim.schedule(10, outer)
+        sim.run_until_idle()
+        assert seen == [10, 15]
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        stamps = []
+        sim.schedule(7, lambda: sim.call_soon(lambda: stamps.append(sim.now)))
+        sim.run_until_idle()
+        assert stamps == [7]
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1, lambda: None)
+        sim.run_until_idle()
+        assert sim.events_fired == 4
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1, rearm)
+
+        sim.schedule(1, rearm)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=100)
+
+    def test_determinism_same_seed(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            values = []
+            for _ in range(10):
+                sim.schedule(sim.uniform_ns(1, 100),
+                             lambda: values.append(sim.now))
+            sim.run_until_idle()
+            return values
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+
+class TestRandomHelpers:
+    def test_uniform_bounds(self):
+        sim = Simulator(seed=1)
+        for _ in range(100):
+            value = sim.uniform_ns(10, 20)
+            assert 10 <= value <= 20
+
+    def test_uniform_empty_range_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.uniform_ns(20, 10)
+
+    def test_jitter_stays_positive_and_near_base(self):
+        sim = Simulator(seed=2)
+        for _ in range(100):
+            value = sim.jitter(1000, 0.1)
+            assert 900 <= value <= 1100
+
+    def test_jitter_zero_fraction_identity(self):
+        sim = Simulator()
+        assert sim.jitter(1234, 0.0) == 1234
+
+
+class TestTimebase:
+    def test_conversions(self):
+        assert ns_to_us(1500) == 1.5
+        assert ns_to_ms(2 * MS) == 2.0
+        assert ns_to_s(3_000 * MS) == 3.0
+        assert 5 * US == 5_000
+
+
+class TestFuture:
+    def test_resolve_and_result(self):
+        future = Future("x")
+        future.resolve(42)
+        assert future.done
+        assert future.result == 42
+
+    def test_result_before_resolution_raises(self):
+        future = Future()
+        with pytest.raises(FutureError):
+            _ = future.result
+
+    def test_double_resolution_raises(self):
+        future = Future()
+        future.resolve(1)
+        with pytest.raises(FutureError):
+            future.resolve(2)
+
+    def test_callback_after_resolution_runs_immediately(self):
+        future = Future()
+        future.resolve("v")
+        seen = []
+        future.add_callback(lambda f: seen.append(f.result))
+        assert seen == ["v"]
+
+    def test_fail_propagates_exception(self):
+        future = Future()
+        future.fail(ValueError("boom"))
+        with pytest.raises(ValueError):
+            _ = future.result
+
+    def test_all_of_waits_for_everything(self):
+        futures = [Future(str(i)) for i in range(3)]
+        agg = all_of(futures)
+        futures[0].resolve(0)
+        futures[2].resolve(2)
+        assert not agg.done
+        futures[1].resolve(1)
+        assert agg.done
+        assert agg.result == [0, 1, 2]
+
+    def test_all_of_empty_resolves_immediately(self):
+        agg = all_of([])
+        assert agg.done
+        assert agg.result == []
+
+    def test_all_of_failure(self):
+        futures = [Future(), Future()]
+        agg = all_of(futures)
+        futures[0].fail(RuntimeError("x"))
+        futures[1].resolve(1)
+        assert agg.done
+        assert isinstance(agg.exception, RuntimeError)
+
+
+class TestProcess:
+    def test_sleep_and_return(self):
+        sim = Simulator()
+
+        def worker():
+            yield 100
+            yield 200
+            return "done"
+
+        proc = Process(sim, worker())
+        sim.run_until_idle()
+        assert proc.done
+        assert proc.result == "done"
+        assert sim.now == 300
+
+    def test_wait_on_future_receives_value(self):
+        sim = Simulator()
+        gate = Future()
+
+        def worker():
+            value = yield gate
+            return value * 2
+
+        proc = Process(sim, worker())
+        sim.schedule(50, gate.resolve, 21)
+        sim.run_until_idle()
+        assert proc.result == 42
+
+    def test_wait_on_other_process(self):
+        sim = Simulator()
+
+        def child():
+            yield 10
+            return "child-done"
+
+        def parent():
+            result = yield Process(sim, child())
+            return result
+
+        proc = Process(sim, parent())
+        sim.run_until_idle()
+        assert proc.result == "child-done"
+
+    def test_exception_captured(self):
+        sim = Simulator()
+
+        def worker():
+            yield 10
+            raise ValueError("inner")
+
+        proc = Process(sim, worker())
+        sim.run_until_idle()
+        assert proc.done
+        with pytest.raises(ValueError):
+            _ = proc.result
+
+    def test_bad_yield_raises_process_error(self):
+        sim = Simulator()
+
+        def worker():
+            yield "not-a-delay"
+
+        proc = Process(sim, worker())
+        sim.run_until_idle()
+        with pytest.raises(ProcessError):
+            _ = proc.result
+
+    def test_failed_future_propagates_into_generator(self):
+        sim = Simulator()
+        gate = Future()
+        caught = []
+
+        def worker():
+            try:
+                yield gate
+            except RuntimeError as exc:
+                caught.append(str(exc))
+            return "recovered"
+
+        proc = Process(sim, worker())
+        sim.schedule(5, gate.fail, RuntimeError("bad"))
+        sim.run_until_idle()
+        assert proc.result == "recovered"
+        assert caught == ["bad"]

@@ -1,0 +1,119 @@
+"""Tests for the miniature Spark shuffle engine and Table 13 presets."""
+
+import pytest
+
+from repro.apps.spark.engine import ShuffleRound, SparkCluster
+from repro.apps.spark.benchmark import run_spark_cell
+from repro.apps.spark.workloads import (SPARK_CELLS, WORKLOADS,
+                                        cold_pages_per_round,
+                                        compute_per_round_ns, get_cell)
+from repro.ib.device import get_device
+
+
+class TestEngine:
+    def test_job_completes_and_moves_blocks(self):
+        cluster = SparkCluster(workers=2, total_qps=16,
+                               env={"UCX_IB_PREFER_ODP": "n"})
+        rounds = [ShuffleRound(compute_ns=100_000, fetches_per_qp=2)
+                  for _ in range(2)]
+        proc = cluster.run_job(rounds)
+        cluster.sim.run_until_idle()
+        _ = proc.result
+        fetched = sum(w.blocks_fetched for w in cluster.workers)
+        # 2 workers x 8 eps x 2 fetches x 2 rounds
+        assert fetched == 2 * 8 * 2 * 2
+
+    def test_data_actually_transfers(self):
+        cluster = SparkCluster(workers=2, total_qps=4,
+                               env={"UCX_IB_PREFER_ODP": "n"})
+        proc = cluster.run_job([ShuffleRound(compute_ns=0,
+                                             fetches_per_qp=1)])
+        cluster.sim.run_until_idle()
+        _ = proc.result
+        # reducer 0 fetched from worker 1, whose blocks are filled with
+        # its seed byte
+        reducer = cluster.workers[0]
+        seed_byte = (1 * 37 + 1) % 256
+        assert reducer.warm_in.region.read(0, 16) == bytes([seed_byte]) * 16
+
+    def test_qp_count_matches_request(self):
+        cluster = SparkCluster(workers=4, total_qps=120,
+                               env={"UCX_IB_PREFER_ODP": "n"})
+        # 4 workers -> 6 pairs -> 10 QPs per pair per side
+        assert cluster.qps_per_pair == 10
+        assert cluster.total_qps == 120
+
+    def test_single_worker_rejected(self):
+        with pytest.raises(ValueError):
+            SparkCluster(workers=1)
+
+    def test_odp_run_is_slower_with_cold_pages(self):
+        def run(odp):
+            env = {"UCX_IB_PREFER_ODP": "y" if odp else "n"}
+            cluster = SparkCluster(workers=2, total_qps=64, env=env)
+            proc = cluster.run_job([ShuffleRound(
+                compute_ns=0, fetches_per_qp=2, cold_pages=64)])
+            cluster.sim.run_until_idle()
+            _ = proc.result
+            return cluster.sim.now
+
+        assert run(True) > 3 * run(False)
+
+    def test_warm_pool_does_not_refault_across_rounds(self):
+        env = {"UCX_IB_PREFER_ODP": "y"}
+        cluster = SparkCluster(workers=2, total_qps=32, env=env)
+        rounds = [ShuffleRound(compute_ns=0, fetches_per_qp=2,
+                               cold_pages=0) for _ in range(3)]
+        proc = cluster.run_job(rounds)
+        cluster.sim.run_until_idle()
+        _ = proc.result
+        # warm pools are prewarmed: no client faults at all
+        faults = sum(w.node.rnic.odp.client_faults for w in cluster.workers)
+        assert faults == 0
+
+
+class TestTable13Presets:
+    def test_all_twelve_cells_present(self):
+        assert len(SPARK_CELLS) == 12
+        assert {c.workload for c in SPARK_CELLS} == set(WORKLOADS)
+
+    def test_paper_ratios(self):
+        assert get_cell("SparkTC", "Reedbush-H (2)").paper_ratio == \
+            pytest.approx(6.45, abs=0.02)
+        assert get_cell("SparkTC", "ABCI (2)").paper_ratio == \
+            pytest.approx(1.01, abs=0.01)
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(KeyError):
+            get_cell("SparkTC", "nonexistent")
+
+    def test_compute_scaling(self):
+        cell = get_cell("SparkTC", "KNL (2)")
+        per_round = compute_per_round_ns(cell)
+        rounds = WORKLOADS[cell.workload].rounds
+        from repro.apps.spark.workloads import TIME_SCALE
+        assert per_round * rounds == pytest.approx(
+            cell.paper_disable_s / TIME_SCALE * 1e9, rel=0.01)
+
+    def test_cold_pages_fit_is_monotone_in_stall(self):
+        profile = get_device("ConnectX-4")
+        big = cold_pages_per_round(get_cell("SparkTC", "Reedbush-H (2)"),
+                                   profile)[0]
+        small = cold_pages_per_round(get_cell("SparkTC", "ABCI (2)"),
+                                     profile)[0]
+        assert big > small
+
+
+class TestCellRun:
+    def test_low_impact_cell_ratio_near_one(self):
+        result = run_spark_cell(get_cell("mllib.RecommendationExample",
+                                         "ABCI (4)"))
+        assert result.ratio == pytest.approx(
+            result.cell.paper_ratio, abs=0.6)
+        assert result.enable_s >= result.disable_s * 0.95
+
+    def test_disable_matches_scaled_baseline(self):
+        result = run_spark_cell(get_cell("mllib.RecommendationExample",
+                                         "KNL (2)"))
+        assert result.disable_s == pytest.approx(
+            result.scaled_paper_disable_s, rel=0.15)

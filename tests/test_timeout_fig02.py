@@ -1,0 +1,88 @@
+"""Tests for the Figure 2 timeout machinery."""
+
+import pytest
+
+from repro.experiments.fig02_timeout import (measure_timeout_ms,
+                                             run_figure2,
+                                             theoretical_ttr_ms)
+from repro.ib.device import get_device, get_system, list_devices
+
+
+class TestDeviceTimeoutModel:
+    def test_ttr_formula(self):
+        # T_tr = 4.096 us * 2^cack
+        assert theoretical_ttr_ms(1) == pytest.approx(0.008192)
+        assert theoretical_ttr_ms(16) == pytest.approx(268.435456)
+
+    def test_vendor_minimum_clamping(self):
+        cx4 = get_device("ConnectX-4")
+        cx5 = get_device("ConnectX-5")
+        assert cx4.effective_cack(1) == 16
+        assert cx5.effective_cack(1) == 12
+        assert cx4.effective_cack(20) == 20
+        assert cx4.effective_cack(0) == 0  # 0 disables the timeout
+
+    def test_detection_time_within_spec_window(self):
+        # spec: T_tr <= T_o <= 4 T_tr
+        for model in list_devices():
+            device = get_device(model)
+            for cack in (1, 14, 18):
+                t_tr = device.nominal_timeout_ns(cack)
+                t_o = device.detection_timeout_ns(cack)
+                assert t_tr <= t_o <= 4 * t_tr
+
+    def test_paper_floors(self):
+        # ~500 ms for ConnectX-4, ~30 ms for ConnectX-5
+        cx4 = get_device("ConnectX-4").detection_timeout_ns(1) / 1e6
+        cx5 = get_device("ConnectX-5").detection_timeout_ns(1) / 1e6
+        assert 400 < cx4 < 600
+        assert 25 < cx5 < 40
+
+
+class TestMeasuredTimeout:
+    def test_wrong_lid_aborts_with_retry_exceeded(self):
+        system = get_system("Private servers B")
+        t_o = measure_timeout_ms(system, cack=1)
+        assert 400 < t_o < 620  # the ~500 ms floor
+
+    def test_connectx5_floor_is_30ms(self):
+        system = get_system("Azure VM HCr Series")
+        t_o = measure_timeout_ms(system, cack=1)
+        assert 25 < t_o < 40
+
+    def test_t_o_doubles_above_the_floor(self):
+        system = get_system("Private servers B")
+        t_17 = measure_timeout_ms(system, cack=17)
+        t_18 = measure_timeout_ms(system, cack=18)
+        assert t_18 / t_17 == pytest.approx(2.0, rel=0.15)
+
+    def test_curve_shapes_across_systems(self):
+        result = run_figure2(cacks=[1, 12, 16, 18],
+                             systems=["Private servers A",
+                                      "Azure VM HCr Series",
+                                      "Azure VM HBv2 Series"])
+        cx3 = next(c for c in result.curves
+                   if c.system == "Private servers A")
+        cx5 = next(c for c in result.curves
+                   if c.system == "Azure VM HCr Series")
+        cx6 = next(c for c in result.curves
+                   if c.system == "Azure VM HBv2 Series")
+        # ConnectX-5 floor is an order of magnitude below the others
+        assert cx5.floor_ms() < cx3.floor_ms() / 10
+        assert cx3.floor_ms() == pytest.approx(cx6.floor_ms(), rel=0.2)
+        # above both floors, every line converges
+        assert cx3.points[18] == pytest.approx(cx5.points[18], rel=0.2)
+
+    def test_measurement_within_spec_bounds(self):
+        system = get_system("Private servers B")
+        for cack in (17, 19):
+            t_o = measure_timeout_ms(system, cack)
+            assert theoretical_ttr_ms(cack) <= t_o <= 4 * theoretical_ttr_ms(cack)
+
+    def test_render_contains_all_systems(self):
+        result = run_figure2(cacks=[16], systems=["Private servers B",
+                                                  "Azure VM HCr Series"])
+        text = result.render()
+        assert "Private servers B" in text
+        assert "Azure VM HCr Series" in text
+        assert "T_tr" in text

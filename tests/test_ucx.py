@@ -1,0 +1,157 @@
+"""Tests for the UCX-like middleware layer."""
+
+import pytest
+
+from repro.host.cluster import build_pair
+from repro.sim.process import Process
+from repro.ucx.config import UcxConfig
+from repro.ucx.context import UcxContext, connect_endpoints
+from repro.ucx.endpoint import UcxError
+
+
+def make_ucx_pair(env_a=None, env_b=None, device="ConnectX-4"):
+    cluster = build_pair(device=device)
+    a = UcxContext(cluster.nodes[0], UcxConfig.from_env(env_a or {}))
+    b = UcxContext(cluster.nodes[1], UcxConfig.from_env(env_b or {}))
+    ep_a, ep_b = a.create_endpoint(), b.create_endpoint()
+    connect_endpoints(ep_a, ep_b)
+    cluster.sim.run_until_idle()
+    return cluster, a, b, ep_a, ep_b
+
+
+class TestConfig:
+    def test_defaults_match_the_paper(self):
+        # Section VII: "The default configuration of UCX uses minimal
+        # RNR NAK delay of 0.96 ms and Cack = 18."
+        config = UcxConfig()
+        assert config.min_rnr_timer_ns == 960_000
+        assert config.cack == 18
+        assert config.prefer_odp is True
+
+    def test_env_parsing(self):
+        config = UcxConfig.from_env({
+            "UCX_IB_PREFER_ODP": "n",
+            "UCX_RC_RNR_TIMEOUT": "0.5ms",
+            "UCX_RC_RETRY_COUNT": "5",
+        })
+        assert config.prefer_odp is False
+        assert config.min_rnr_timer_ns == 500_000
+        assert config.retry_count == 5
+
+    def test_timeout_env_maps_to_cack(self):
+        config = UcxConfig.from_env({"UCX_RC_TIMEOUT": "1.0s"})
+        assert config.cack == 18  # 4.096us * 2^18 ~= 1.07 s
+
+    def test_bad_boolean_rejected(self):
+        with pytest.raises(ValueError):
+            UcxConfig.from_env({"UCX_IB_PREFER_ODP": "maybe"})
+
+    def test_bad_time_rejected(self):
+        with pytest.raises(ValueError):
+            UcxConfig.from_env({"UCX_RC_RNR_TIMEOUT": "fast"})
+
+    def test_describe(self):
+        assert "cack=18" in UcxConfig().describe()
+
+
+class TestRegistration:
+    def test_prefer_odp_uses_odp_on_capable_device(self):
+        cluster, a, b, ep_a, ep_b = make_ucx_pair()
+        memory = a.mem_map(a.node.mmap(4096))
+        assert memory.mr.mode.is_odp
+        assert a.using_odp
+
+    def test_prefer_odp_falls_back_on_connectx3(self):
+        # the device cannot do ODP: UCX silently pins instead
+        cluster, a, b, ep_a, ep_b = make_ucx_pair(device="ConnectX-3")
+        memory = a.mem_map(a.node.mmap(4096))
+        assert not memory.mr.mode.is_odp
+        assert not a.using_odp
+
+    def test_disable_odp_via_env(self):
+        cluster, a, b, ep_a, ep_b = make_ucx_pair(
+            env_a={"UCX_IB_PREFER_ODP": "n"})
+        memory = a.mem_map(a.node.mmap(4096))
+        assert not memory.mr.mode.is_odp
+
+
+class TestRma:
+    def test_get_put_roundtrip(self):
+        cluster, a, b, ep_a, ep_b = make_ucx_pair(
+            env_a={"UCX_IB_PREFER_ODP": "n"},
+            env_b={"UCX_IB_PREFER_ODP": "n"})
+        mem_a = a.mem_map(a.node.mmap(4096, populate=True))
+        mem_b = b.mem_map(b.node.mmap(4096, populate=True))
+        mem_b.region.write(0, b"remote payload")
+
+        def workload():
+            got = yield ep_a.get(mem_a, 0, 14, mem_b.addr(0), mem_b.rkey)
+            assert got == 14
+            assert mem_a.region.read(0, 14) == b"remote payload"
+            mem_a.region.write(100, b"sent back")
+            yield ep_a.put(mem_a, 100, 9, mem_b.addr(100), mem_b.rkey)
+            assert mem_b.region.read(100, 9) == b"sent back"
+            return "done"
+
+        proc = Process(cluster.sim, workload())
+        cluster.sim.run_until_idle()
+        assert proc.result == "done"
+
+    def test_atomics(self):
+        cluster, a, b, ep_a, ep_b = make_ucx_pair(
+            env_a={"UCX_IB_PREFER_ODP": "n"},
+            env_b={"UCX_IB_PREFER_ODP": "n"})
+        mem_a = a.mem_map(a.node.mmap(4096, populate=True))
+        mem_b = b.mem_map(b.node.mmap(4096, populate=True))
+        mem_b.region.write(0, (41).to_bytes(8, "little"))
+
+        def workload():
+            yield ep_a.fetch_add(mem_a, 0, mem_b.addr(0), mem_b.rkey, add=1)
+            old = int.from_bytes(mem_a.region.read(0, 8), "little")
+            assert old == 41
+            yield ep_a.compare_swap(mem_a, 8, mem_b.addr(0), mem_b.rkey,
+                                    compare=42, swap=7)
+            return int.from_bytes(mem_b.region.read(0, 8), "little")
+
+        proc = Process(cluster.sim, workload())
+        cluster.sim.run_until_idle()
+        assert proc.result == 7
+
+    def test_send_recv(self):
+        cluster, a, b, ep_a, ep_b = make_ucx_pair()
+        mem_b = b.mem_map(b.node.mmap(4096))
+
+        def workload():
+            recv_future = ep_b.recv(mem_b, 0, 4096)
+            yield ep_a.send_inline(b"tagged-ish message")
+            got = yield recv_future
+            assert got == 18
+            return mem_b.region.read(0, 18)
+
+        proc = Process(cluster.sim, workload())
+        cluster.sim.run_until_idle()
+        assert proc.result == b"tagged-ish message"
+
+    def test_flush_waits_for_all_endpoints(self):
+        cluster, a, b, ep_a, ep_b = make_ucx_pair(
+            env_a={"UCX_IB_PREFER_ODP": "n"},
+            env_b={"UCX_IB_PREFER_ODP": "n"})
+        mem_a = a.mem_map(a.node.mmap(4096, populate=True))
+        mem_b = b.mem_map(b.node.mmap(4096, populate=True))
+        for i in range(10):
+            ep_a.put(mem_a, 0, 64, mem_b.addr(i * 64), mem_b.rkey)
+        flushed = a.flush()
+        assert not flushed.done
+        cluster.sim.run_until_idle()
+        assert flushed.done
+        assert ep_a.inflight == 0
+
+    def test_failed_operation_rejects_future(self):
+        cluster, a, b, ep_a, ep_b = make_ucx_pair(
+            env_a={"UCX_IB_PREFER_ODP": "n"})
+        mem_a = a.mem_map(a.node.mmap(4096, populate=True))
+        future = ep_a.get(mem_a, 0, 8, 0xDEAD0000, 0xBAD)
+        cluster.sim.run_until_idle()
+        assert future.done
+        with pytest.raises(UcxError):
+            _ = future.result
