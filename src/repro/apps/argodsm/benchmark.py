@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.apps.argodsm.dsm import ArgoCluster
+from repro.experiments.runner import sweep
 from repro.sim.process import Process
 from repro.sim.timebase import MS, SEC, ns_to_s
 
@@ -130,15 +131,27 @@ def run_one_trial(preset: ArgoSystemPreset, odp_enabled: bool,
     )
 
 
+def _run_trial_point(point) -> ArgoTrialResult:
+    """One trial from a picklable (system, odp, seed, bytes) point."""
+    system, odp_enabled, seed, init_bytes = point
+    return run_one_trial(ARGO_SYSTEMS[system], odp_enabled, seed=seed,
+                         init_bytes=init_bytes)
+
+
 def run_init_finalize_trials(system: str, odp_enabled: bool,
                              trials: int = 100, seed: int = 0,
                              init_bytes: int = DEFAULT_INIT_BYTES,
+                             processes: Optional[int] = None,
                              ) -> ArgoBenchResult:
-    """The Figure 12 experiment for one configuration."""
-    preset = ARGO_SYSTEMS[system]
+    """The Figure 12 experiment for one configuration.
+
+    Each of the ``trials`` iterations owns its derived seed, so fanning
+    them across ``processes`` workers reproduces the serial trial list
+    exactly.
+    """
+    points = [(system, odp_enabled, seed * 100_003 + trial, init_bytes)
+              for trial in range(trials)]
     result = ArgoBenchResult(system=system, odp_enabled=odp_enabled)
-    for trial in range(trials):
-        result.trials.append(run_one_trial(preset, odp_enabled,
-                                           seed=seed * 100_003 + trial,
-                                           init_bytes=init_bytes))
+    result.trials.extend(sweep(_run_trial_point, points,
+                               processes=processes))
     return result

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro list
     python -m repro fig04 [--fast] [--seed 1]
+    python -m repro fig09 --fast --jobs 8
     python -m repro all --fast
 """
 
@@ -15,24 +16,24 @@ import time
 from typing import Callable, Dict, List
 
 
-def _fig01(fast: bool, seed: int) -> str:
+def _fig01(fast: bool, seed: int, jobs=None) -> str:
     from repro.experiments.fig01_workflow import run_figure1
     return "\n\n".join(r.render() for r in run_figure1(seed=seed))
 
 
-def _fig02(fast: bool, seed: int) -> str:
+def _fig02(fast: bool, seed: int, jobs=None) -> str:
     from repro.experiments.fig02_timeout import run_figure2
     cacks = [1, 4, 8, 12, 14, 16, 18, 21] if fast else list(range(1, 22))
-    return run_figure2(cacks=cacks, seed=seed).render()
+    return run_figure2(cacks=cacks, seed=seed, processes=jobs).render()
 
 
-def _fig04(fast: bool, seed: int) -> str:
+def _fig04(fast: bool, seed: int, jobs=None) -> str:
     from repro.experiments.fig04_damming import run_figure4
     trials = 3 if fast else 10
     return run_figure4(trials=trials, seed=seed).render()
 
 
-def _fig05(fast: bool, seed: int) -> str:
+def _fig05(fast: bool, seed: int, jobs=None) -> str:
     from repro.experiments.fig05_workflow import run_figure5
     from repro.bench.microbench import OdpSetup
     parts = [run_figure5(OdpSetup.SERVER, seed=seed).render(),
@@ -41,7 +42,7 @@ def _fig05(fast: bool, seed: int) -> str:
     return "\n\n".join(parts)
 
 
-def _fig06(fast: bool, seed: int) -> str:
+def _fig06(fast: bool, seed: int, jobs=None) -> str:
     from repro.experiments.fig06_probability import (run_figure6a,
                                                      run_figure6b)
     trials = 4 if fast else 10
@@ -49,58 +50,59 @@ def _fig06(fast: bool, seed: int) -> str:
             + run_figure6b(trials=trials, seed=seed).render())
 
 
-def _fig07(fast: bool, seed: int) -> str:
+def _fig07(fast: bool, seed: int, jobs=None) -> str:
     from repro.experiments.fig07_more_reads import run_figure7
     trials = 4 if fast else 10
     return run_figure7(trials=trials, seed=seed).render()
 
 
-def _fig08(fast: bool, seed: int) -> str:
+def _fig08(fast: bool, seed: int, jobs=None) -> str:
     from repro.experiments.fig08_workflow import run_figure8
     return run_figure8(seed=seed).render()
 
 
-def _fig09(fast: bool, seed: int) -> str:
+def _fig09(fast: bool, seed: int, jobs=None) -> str:
     from repro.experiments.fig09_flood import run_figure9
     if fast:
         result = run_figure9(qps_values=[1, 10, 50, 128], scale=16,
-                             seed=seed)
+                             seed=seed, processes=jobs)
     else:
-        result = run_figure9(scale=4, seed=seed)
+        result = run_figure9(scale=4, seed=seed, processes=jobs)
     return result.render()
 
 
-def _fig10(fast: bool, seed: int) -> str:
+def _fig10(fast: bool, seed: int, jobs=None) -> str:
     from repro.experiments.fig10_layout import run_figure10
     return run_figure10().render()
 
 
-def _fig11(fast: bool, seed: int) -> str:
+def _fig11(fast: bool, seed: int, jobs=None) -> str:
     from repro.experiments.fig11_completion import run_figure11_both
     a, b = run_figure11_both(seed=seed)
     return a.render() + "\n\n" + b.render()
 
 
-def _fig12(fast: bool, seed: int) -> str:
+def _fig12(fast: bool, seed: int, jobs=None) -> str:
     from repro.experiments.fig12_argodsm import run_figure12_all
     trials = 20 if fast else 100
-    return "\n\n".join(r.render()
-                       for r in run_figure12_all(trials=trials, seed=seed))
+    return "\n\n".join(
+        r.render() for r in run_figure12_all(trials=trials, seed=seed,
+                                             processes=jobs))
 
 
-def _tab13(fast: bool, seed: int) -> str:
+def _tab13(fast: bool, seed: int, jobs=None) -> str:
     from repro.apps.spark.workloads import SPARK_CELLS
     from repro.experiments.tab13_spark import run_table13
     cells = SPARK_CELLS[:4] if fast else None
-    return run_table13(cells=cells, seed=seed).render()
+    return run_table13(cells=cells, seed=seed, processes=jobs).render()
 
 
-def _tables(fast: bool, seed: int) -> str:
+def _tables(fast: bool, seed: int, jobs=None) -> str:
     from repro.experiments.tables import render_table1, render_table2
     return render_table1() + "\n\n" + render_table2()
 
 
-EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
+EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "tables": _tables,
     "fig01": _fig01,
     "fig02": _fig02,
@@ -131,6 +133,11 @@ def main(argv: List[str] = None) -> int:
                         help="reduced trial counts / sweep sizes")
     parser.add_argument("--seed", type=int, default=0,
                         help="simulation seed (default 0)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sweep-style "
+                             "experiments (default: all usable cores; "
+                             "REPRO_SERIAL=1 forces serial); results "
+                             "are bit-identical at any job count")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -147,7 +154,7 @@ def main(argv: List[str] = None) -> int:
     for name in names:
         started = time.time()
         print(f"=== {name} ===")
-        print(EXPERIMENTS[name](args.fast, args.seed))
+        print(EXPERIMENTS[name](args.fast, args.seed, args.jobs))
         print(f"--- {name} done in {time.time() - started:.1f}s ---\n")
     return 0
 

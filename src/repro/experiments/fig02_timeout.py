@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.experiments.runner import sweep
 from repro.host.cluster import Cluster
 from repro.ib.device import (ACK_TIMEOUT_BASE_NS, SystemInfo,
                              TABLE1_SYSTEMS, get_system)
@@ -105,18 +106,31 @@ class Figure2Result:
                             title="Figure 2: measured T_o by C_ACK")
 
 
+def _measure_point(point) -> float:
+    """One (system, C_ACK) cell on a fresh simulator (pool-safe)."""
+    name, cack, seed = point
+    return measure_timeout_ms(get_system(name), cack, seed=seed)
+
+
 def run_figure2(cacks: Optional[List[int]] = None,
                 systems: Optional[List[str]] = None,
-                seed: int = 0) -> Figure2Result:
-    """Measure T_o for every Table I system across C_ACK values."""
+                seed: int = 0,
+                processes: Optional[int] = None) -> Figure2Result:
+    """Measure T_o for every Table I system across C_ACK values.
+
+    ``processes`` fans the systems x C_ACK grid across workers; every
+    cell builds its own cluster from the same seed, so parallel and
+    serial sweeps return identical curves.
+    """
     cacks = cacks if cacks is not None else list(range(1, 22))
     names = systems if systems is not None else [s.name for s in
                                                  TABLE1_SYSTEMS]
+    grid = [(name, cack, seed) for name in names for cack in cacks]
+    values = sweep(_measure_point, grid, processes=processes)
     curves = []
-    for name in names:
-        system = get_system(name)
+    for index, name in enumerate(names):
         curve = TimeoutCurve(system=name)
-        for cack in cacks:
-            curve.points[cack] = measure_timeout_ms(system, cack, seed=seed)
+        for offset, cack in enumerate(cacks):
+            curve.points[cack] = values[index * len(cacks) + offset]
         curves.append(curve)
     return Figure2Result(curves=curves, cacks=cacks)

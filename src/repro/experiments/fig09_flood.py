@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.bench.microbench import MicrobenchConfig, OdpSetup, run_microbench
+from repro.experiments.runner import sweep
 from repro.report import ascii_chart, format_table
 from repro.sim.timebase import MS
 
@@ -83,10 +84,28 @@ class Figure9Result:
         return worst
 
 
+def _measure_point(point) -> Figure9Point:
+    """One (mode, #QPs) cell on a fresh per-point simulator (pool-safe)."""
+    mode, num_qps, size, num_ops, cack, seed = point
+    run = run_microbench(MicrobenchConfig(
+        size=size, num_ops=num_ops,
+        num_qps=min(num_qps, num_ops),
+        odp=mode, cack=cack,
+        min_rnr_timer_ns=round(1.28 * MS),
+        seed=seed * 60_013 + num_qps))
+    return Figure9Point(
+        num_qps=num_qps,
+        execution_s=run.execution_time_s,
+        packets=run.total_packets,
+        timeouts=run.timeouts,
+        blind_retransmits=run.blind_retransmit_rounds)
+
+
 def run_figure9(qps_values: Optional[List[int]] = None,
                 modes: Optional[List[OdpSetup]] = None,
                 scale: int = 4, seed: int = 0,
-                cack: Optional[int] = None) -> Figure9Result:
+                cack: Optional[int] = None,
+                processes: Optional[int] = None) -> Figure9Result:
     """Sweep QP count x ODP mode.  ``scale`` divides the op count.
 
     The paper uses ``C_ACK = 18`` (T_o ~2 s).  Down-scaled runs default
@@ -94,6 +113,9 @@ def run_figure9(qps_values: Optional[List[int]] = None,
     timeouts — which full-scale flood durations amortise — do not
     dominate the much shorter scaled executions; pass ``cack=18``
     explicitly for paper-exact parameters.
+
+    ``processes`` fans the grid across worker processes (every point
+    owns its seed, so results are bit-identical to a serial run).
     """
     qps_list = qps_values if qps_values is not None else \
         [1, 5, 10, 25, 50, 100, 200]
@@ -105,21 +127,11 @@ def run_figure9(qps_values: Optional[List[int]] = None,
     # preserve the paper's 200-page buffer footprint when the operation
     # count shrinks: the flood volume is (QP, page)-pair driven
     size = min(PAPER_SIZE * scale, 2048)
+    grid = [(mode, num_qps, size, num_ops, cack, seed)
+            for mode in mode_list for num_qps in qps_list]
+    points = sweep(_measure_point, grid, processes=processes)
     result = Figure9Result(num_ops=num_ops)
-    for mode in mode_list:
-        points = []
-        for num_qps in qps_list:
-            run = run_microbench(MicrobenchConfig(
-                size=size, num_ops=num_ops,
-                num_qps=min(num_qps, num_ops),
-                odp=mode, cack=cack,
-                min_rnr_timer_ns=round(1.28 * MS),
-                seed=seed * 60_013 + num_qps))
-            points.append(Figure9Point(
-                num_qps=num_qps,
-                execution_s=run.execution_time_s,
-                packets=run.total_packets,
-                timeouts=run.timeouts,
-                blind_retransmits=run.blind_retransmit_rounds))
-        result.curves[mode] = points
+    for index, mode in enumerate(mode_list):
+        result.curves[mode] = points[index * len(qps_list):
+                                     (index + 1) * len(qps_list)]
     return result

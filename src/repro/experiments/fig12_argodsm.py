@@ -10,7 +10,7 @@ damming on the global-lock READ+SEND pair.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.apps.argodsm.benchmark import (ARGO_SYSTEMS, ArgoBenchResult,
                                           run_init_finalize_trials)
@@ -54,19 +54,23 @@ class Figure12Result:
         return spread > 0 and max(gaps) > spread * 0.4
 
 
-def run_figure12(system: str, trials: int = 100,
-                 seed: int = 0) -> Figure12Result:
-    """One system's panel."""
+def run_figure12(system: str, trials: int = 100, seed: int = 0,
+                 processes: Optional[int] = None) -> Figure12Result:
+    """One system's panel (trials fan out across ``processes``)."""
     return Figure12Result(
         system=system,
         without_odp=run_init_finalize_trials(system, odp_enabled=False,
-                                             trials=trials, seed=seed),
+                                             trials=trials, seed=seed,
+                                             processes=processes),
         with_odp=run_init_finalize_trials(system, odp_enabled=True,
-                                          trials=trials, seed=seed),
+                                          trials=trials, seed=seed,
+                                          processes=processes),
     )
 
 
-def run_figure12_all(trials: int = 100, seed: int = 0) -> List[Figure12Result]:
+def run_figure12_all(trials: int = 100, seed: int = 0,
+                     processes: Optional[int] = None) -> List[Figure12Result]:
     """Both panels (KNL and Reedbush-H)."""
-    return [run_figure12(name, trials=trials, seed=seed)
+    return [run_figure12(name, trials=trials, seed=seed,
+                         processes=processes)
             for name in ARGO_SYSTEMS]

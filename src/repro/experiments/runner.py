@@ -1,0 +1,84 @@
+"""Parallel experiment sweeps.
+
+Every figure is a grid of *independent* simulation points — fig02's
+systems x C_ACK grid, fig09's QP x ODP-mode grid, fig12's 100 trials,
+tab13's 12 cells.  Each point builds its own :class:`Simulator` from its
+own seed, so points can fan out across worker processes with no shared
+state and **bit-identical** results: :func:`sweep` preserves input
+order and the per-point seeds make a worker's run byte-for-byte the
+run the serial loop would have produced.
+
+Environment knobs:
+
+* ``REPRO_SERIAL=1`` forces serial execution regardless of arguments
+  (useful for debugging and for deterministic timing baselines);
+* ``REPRO_JOBS=N`` sets the default worker count (otherwise the number
+  of usable cores).
+
+Workers must be module-level functions and points picklable tuples —
+``ProcessPoolExecutor`` ships both to the pool.  Nested sweeps (a sweep
+inside a worker) automatically degrade to serial so a figure that fans
+out trials cannot fork a pool per worker.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+Point = TypeVar("Point")
+Result = TypeVar("Result")
+
+#: Set inside pool workers so nested sweep() calls stay serial.
+_IN_WORKER_ENV = "REPRO_IN_SWEEP_WORKER"
+
+
+def serial_forced() -> bool:
+    """True when the environment pins sweeps to serial execution."""
+    if os.environ.get("REPRO_SERIAL", "") not in ("", "0"):
+        return True
+    return os.environ.get(_IN_WORKER_ENV, "") == "1"
+
+
+def default_jobs() -> int:
+    """Worker count used when ``processes`` is not given."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _mark_worker() -> None:
+    """Pool initializer: tag the process so nested sweeps go serial."""
+    os.environ[_IN_WORKER_ENV] = "1"
+
+
+def sweep(fn: Callable[[Point], Result], points: Iterable[Point],
+          processes: Optional[int] = None,
+          chunksize: int = 1) -> List[Result]:
+    """Run ``fn`` over every point, in order, possibly across processes.
+
+    Results come back in input order whatever the completion order, and
+    each point must carry its own seed, so ``sweep(fn, pts, processes=N)``
+    returns exactly ``[fn(p) for p in pts]`` for every ``N`` — a test
+    enforces this bit-for-bit.
+
+    ``processes=None`` uses :func:`default_jobs`; ``processes<=1``, a
+    single point, or ``REPRO_SERIAL=1`` short-circuit to the plain
+    serial loop (no pool, no pickling).
+    """
+    todo = list(points)
+    jobs = default_jobs() if processes is None else max(1, int(processes))
+    jobs = min(jobs, len(todo))
+    if jobs <= 1 or serial_forced():
+        return [fn(point) for point in todo]
+    with ProcessPoolExecutor(max_workers=jobs,
+                             initializer=_mark_worker) as pool:
+        return list(pool.map(fn, todo, chunksize=chunksize))

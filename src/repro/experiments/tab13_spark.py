@@ -16,6 +16,7 @@ from typing import List, Optional
 
 from repro.apps.spark.benchmark import SparkCellResult, run_spark_cell
 from repro.apps.spark.workloads import SPARK_CELLS, SparkCell, TIME_SCALE
+from repro.experiments.runner import sweep
 from repro.report import format_table
 
 
@@ -45,8 +46,17 @@ class Table13Result:
         return max(r.ratio for r in self.results)
 
 
+def _measure_cell(point) -> SparkCellResult:
+    """One Table 13 cell on a fresh simulated cluster (pool-safe)."""
+    cell, seed = point
+    return run_spark_cell(cell, seed=seed)
+
+
 def run_table13(cells: Optional[List[SparkCell]] = None,
-                seed: int = 0) -> Table13Result:
-    """Run all (or a subset of) Table 13 cells."""
+                seed: int = 0,
+                processes: Optional[int] = None) -> Table13Result:
+    """Run all (or a subset of) Table 13 cells, optionally in parallel."""
     todo = cells if cells is not None else SPARK_CELLS
-    return Table13Result([run_spark_cell(cell, seed=seed) for cell in todo])
+    return Table13Result(sweep(_measure_cell,
+                               [(cell, seed) for cell in todo],
+                               processes=processes))

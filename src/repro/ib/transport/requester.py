@@ -409,7 +409,7 @@ class Requester:
         configured = packet.aeth.rnr_timer_ns or self.qp.attrs.min_rnr_timer_ns
         base = profile.actual_rnr_delay_ns(configured)
         delay = self.sim.jitter(base, profile.rnr_delay_jitter)
-        self._rnr_timer = self.sim.schedule(delay, self._rnr_recover)
+        self._rnr_timer = self.sim.schedule_timer(delay, self._rnr_recover)
 
     def _rnr_recover(self) -> None:
         if self.state != STATE_RNR_WAIT:
@@ -427,7 +427,8 @@ class Requester:
                 and self._fault_raise_timer.pending:
             return
         delay = self.qp.rnic.profile.odp_fault_raise_ns
-        self._fault_raise_timer = self.sim.schedule(delay, self._do_fault_raise)
+        self._fault_raise_timer = self.sim.schedule_timer(delay,
+                                                          self._do_fault_raise)
 
     def _do_fault_raise(self) -> None:
         self._fault_raise_timer = None
@@ -448,8 +449,8 @@ class Requester:
                 self.qp.qpn, wr.local.mr, wr.local.addr, wr.local.length)
             fresh.add_callback(lambda _f: self._on_pages_fresh(wqe))
         if self._blind_timer is None or not self._blind_timer.pending:
-            self._blind_timer = self.sim.schedule(self._blind_period_ns(),
-                                                  self._blind_retransmit)
+            self._blind_timer = self.sim.schedule_timer(
+                self._blind_period_ns(), self._blind_retransmit)
 
     def _blind_period_ns(self) -> int:
         """Blind retransmission period: ~0.5 ms when lightly loaded,
@@ -468,8 +469,8 @@ class Requester:
             return
         self.blind_retransmit_rounds += 1
         self._retransmit_from_oldest()
-        self._blind_timer = self.sim.schedule(self._blind_period_ns(),
-                                              self._blind_retransmit)
+        self._blind_timer = self.sim.schedule_timer(self._blind_period_ns(),
+                                                    self._blind_retransmit)
 
     def _on_pages_fresh(self, wqe: Wqe) -> None:
         wqe.fault_wait_registered = False
@@ -529,8 +530,8 @@ class Requester:
             return
         self._cancel_timer()
         duration = self._sample_timeout()
-        self._timer = self.sim.schedule(duration, self._on_timer,
-                                        self._progress_stamp)
+        self._timer = self.sim.schedule_timer(duration, self._on_timer,
+                                              self._progress_stamp)
 
     def _cancel_timer(self) -> None:
         if self._timer is not None:

@@ -1,0 +1,239 @@
+"""Engine semantics under the tuple-heap fast path, the compaction
+logic, and the timer wheel.
+
+The contract being pinned down: ``schedule_timer`` (hierarchical wheel)
+and ``schedule`` (main heap) are bit-for-bit interchangeable — same
+``(time, seq)`` firing order, same counters — and cancellation hygiene
+(compaction, sweeps) never changes observable behaviour.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.engine import COMPACT_MIN, SimulationError, Simulator
+from repro.sim.timerwheel import LEVEL_SHIFTS
+
+
+class TestFastPathSemantics:
+    def test_same_timestamp_fifo_across_heap_and_wheel(self):
+        """Heap events and wheel timers at one timestamp interleave in
+        scheduling (seq) order."""
+        sim = Simulator()
+        order = []
+        for tag in range(8):
+            if tag % 2:
+                sim.schedule_timer(1000, order.append, tag)
+            else:
+                sim.schedule(1000, order.append, tag)
+        sim.run_until_idle()
+        assert order == list(range(8))
+
+    def test_schedule_timer_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_timer(-5, lambda: None)
+
+    def test_at_in_the_past_rejected_after_wheel_run(self):
+        sim = Simulator()
+        sim.schedule_timer(100, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.at(50, lambda: None)
+
+    def test_cancelled_timer_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule_timer(10_000_000, fired.append, 1)
+        assert timer.pending
+        timer.cancel()
+        assert not timer.pending
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_cancel_is_idempotent_in_counters(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        timer = sim.schedule_timer(10, lambda: None)
+        for _ in range(3):
+            event.cancel()
+            timer.cancel()
+        assert sim.pending_events() == 0
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        sim.run_until_idle()
+        event.cancel()  # must not corrupt the pending counter
+        assert sim.pending_events() == 0
+        assert sim.events_fired == 1
+
+
+class TestCompaction:
+    def test_cancellation_survives_compaction(self):
+        """Mass-cancel far past the compaction threshold; survivors
+        still fire, in order, exactly once."""
+        sim = Simulator()
+        fired = []
+        events = [sim.schedule(1_000 + i, fired.append, i)
+                  for i in range(10 * COMPACT_MIN)]
+        for event in events[: 8 * COMPACT_MIN]:
+            event.cancel()  # triggers repeated in-place compaction
+        for event in events[: 8 * COMPACT_MIN]:
+            event.cancel()  # double-cancel across a compaction boundary
+        assert sim.pending_events() == 2 * COMPACT_MIN
+        sim.run_until_idle()
+        assert fired == list(range(8 * COMPACT_MIN, 10 * COMPACT_MIN))
+        assert sim.events_fired == 2 * COMPACT_MIN
+
+    def test_compaction_during_run_keeps_queue_identity(self):
+        """Cancelling from inside a callback (the requester pattern)
+        while the run loop holds its hoisted queue reference."""
+        sim = Simulator()
+        fired = []
+        victims = [sim.schedule(5_000 + i, fired.append, -i)
+                   for i in range(4 * COMPACT_MIN)]
+
+        def massacre():
+            for victim in victims:
+                victim.cancel()
+
+        sim.schedule(1, massacre)
+        sim.schedule(10_000, fired.append, "survivor")
+        sim.run_until_idle()
+        assert fired == ["survivor"]
+
+    def test_wheel_sweep_drops_corpses(self):
+        """Churned-and-cancelled timers are reclaimed in bulk and the
+        surviving timer still fires on time."""
+        sim = Simulator()
+        fired = []
+        pending = None
+        for _ in range(1_000):
+            if pending is not None:
+                pending.cancel()
+            pending = sim.schedule_timer(500_000_000, fired.append, "late")
+        wheel = sim._wheel
+        assert wheel._live == 1
+        assert wheel._cancelled <= wheel._live + 64 + 1
+        sim.run_until_idle()
+        assert fired == ["late"]
+        assert sim.now == 500_000_000
+
+
+class TestAccounting:
+    def test_pending_events_is_live_counter(self):
+        sim = Simulator()
+        events = [sim.schedule(10 + i, lambda: None) for i in range(5)]
+        timers = [sim.schedule_timer(10_000_000, lambda: None)
+                  for _ in range(5)]
+        assert sim.pending_events() == 10
+        events[0].cancel()
+        timers[0].cancel()
+        assert sim.pending_events() == 8
+        sim.run_until_idle()
+        assert sim.pending_events() == 0
+
+    def test_run_max_events_skips_cancelled_silently(self):
+        """``max_events`` counts fired events only — cancelled entries
+        consume no budget (run/step/events_fired agree)."""
+        sim = Simulator()
+        fired = []
+        events = [sim.schedule(10 + i, fired.append, i) for i in range(10)]
+        for event in events[:5]:
+            event.cancel()
+        sim.run(max_events=3)
+        assert fired == [5, 6, 7]
+        assert sim.events_fired == 3
+        sim.run(max_events=50)
+        assert fired == [5, 6, 7, 8, 9]
+        assert sim.events_fired == 5
+
+    def test_step_and_run_agree_on_events_fired(self):
+        def build():
+            sim = Simulator()
+            events = [sim.schedule(10 + i, lambda: None) for i in range(8)]
+            for event in events[::2]:
+                event.cancel()
+            return sim
+
+        stepped = build()
+        while stepped.step():
+            pass
+        ran = build()
+        ran.run()
+        assert stepped.events_fired == ran.events_fired == 4
+
+    def test_run_until_idle_guard_counts_only_fired(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1, rearm)
+
+        sim.schedule(1, rearm)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=100)
+
+
+def _random_script(seed: int, use_wheel: bool):
+    """Drive one simulator with a seeded schedule/cancel/nest script,
+    arming "timers" via the wheel or the heap, and log the firings.
+
+    The script's randomness is consumed in firing order, so two runs
+    diverge immediately if ordering differs at all.
+    """
+    rng = random.Random(seed)
+    sim = Simulator(seed=0)
+    arm = sim.schedule_timer if use_wheel else sim.schedule
+    fired = []
+    handles = []
+
+    def fire(tag):
+        fired.append((sim.now, tag))
+        if rng.random() < 0.45 and len(fired) < 600:
+            # nested re-arm, spanning several wheel levels
+            delay = rng.randrange(0, 1 << (LEVEL_SHIFTS[2] + 2))
+            handles.append(arm(delay, fire, tag + 1_000))
+        if handles and rng.random() < 0.5:
+            handles[rng.randrange(len(handles))].cancel()
+
+    for tag in range(150):
+        delay = rng.randrange(0, 1 << (LEVEL_SHIFTS[1] + 6))
+        if rng.random() < 0.5:
+            handles.append(arm(delay, fire, tag))
+        else:
+            handles.append(sim.schedule(delay, fire, tag))
+    sim.run_until_idle()
+    return fired
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_timerwheel_heap_equivalence(seed):
+    """Property-style: a random schedule/cancel/nest script fires the
+    identical sequence whether timers go through the wheel or the heap."""
+    assert _random_script(seed, use_wheel=True) == \
+        _random_script(seed, use_wheel=False)
+
+
+def test_wheel_promotion_is_exact_far_future():
+    """A timer beyond every wheel level still fires at its exact time,
+    ordered against heap neighbours."""
+    sim = Simulator()
+    far = 1 << (LEVEL_SHIFTS[-1] + 10)  # beyond the top level's horizon
+    order = []
+    sim.schedule_timer(far, order.append, "wheel")
+    sim.schedule(far, order.append, "heap")
+    sim.schedule(far - 1, order.append, "before")
+    sim.run_until_idle()
+    assert order == ["before", "wheel", "heap"]
+    assert sim.now == far
+
+
+def test_wheel_only_simulation_advances_clock():
+    """With an empty heap the engine promotes and fires wheel timers."""
+    sim = Simulator()
+    stamps = []
+    for delay in (2_000_000_000, 1_000, 70_000_000):
+        sim.schedule_timer(delay, lambda: stamps.append(sim.now))
+    sim.run_until_idle()
+    assert stamps == [1_000, 70_000_000, 2_000_000_000]

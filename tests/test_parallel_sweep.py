@@ -1,0 +1,99 @@
+"""Parallel sweeps must be invisible: same rows, bit for bit, at any
+process count — determinism survives the pool because every point owns
+its ``Simulator(seed)``.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.microbench import OdpSetup
+from repro.experiments import runner
+from repro.experiments.fig02_timeout import run_figure2
+from repro.experiments.fig09_flood import run_figure9
+from repro.experiments.runner import default_jobs, sweep
+
+
+def _square(point):
+    return point * point
+
+
+def _tagged(point):
+    return (os.getpid(), point)
+
+
+class TestSweepRunner:
+    def test_serial_and_parallel_preserve_order(self):
+        points = list(range(20))
+        assert sweep(_square, points, processes=1) == \
+            sweep(_square, points, processes=4) == \
+            [p * p for p in points]
+
+    def test_parallel_actually_uses_workers(self):
+        tags = sweep(_tagged, list(range(8)), processes=2)
+        assert [point for _pid, point in tags] == list(range(8))
+        assert all(pid != os.getpid() for pid, _point in tags)
+
+    def test_repro_serial_env_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        tags = sweep(_tagged, list(range(4)), processes=4)
+        assert all(pid == os.getpid() for pid, _point in tags)
+
+    def test_repro_jobs_env_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        assert default_jobs() >= 1
+
+    def test_nested_sweep_marker_forces_serial(self, monkeypatch):
+        monkeypatch.setenv(runner._IN_WORKER_ENV, "1")
+        tags = sweep(_tagged, list(range(4)), processes=4)
+        assert all(pid == os.getpid() for pid, _point in tags)
+
+    def test_empty_points(self):
+        assert sweep(_square, [], processes=4) == []
+
+
+class TestParallelEqualsSerial:
+    """The ISSUE acceptance gate: reduced fig02/fig09 sweeps, 4 worker
+    processes versus serial, asserting *identical* result rows."""
+
+    def test_fig02_rows_bit_identical(self):
+        kwargs = dict(cacks=[1, 14, 18],
+                      systems=["Private servers A", "Reedbush-H"])
+        serial = run_figure2(processes=1, **kwargs)
+        parallel = run_figure2(processes=4, **kwargs)
+        assert [c.points for c in serial.curves] == \
+            [c.points for c in parallel.curves]
+        assert serial.render() == parallel.render()
+
+    def test_fig09_rows_bit_identical(self):
+        kwargs = dict(qps_values=[1, 4],
+                      modes=[OdpSetup.NONE, OdpSetup.CLIENT],
+                      scale=128, seed=3)
+        serial = run_figure9(processes=1, **kwargs)
+        parallel = run_figure9(processes=4, **kwargs)
+        assert serial.curves == parallel.curves
+        assert serial.render() == parallel.render()
+
+
+@pytest.mark.skipif(default_jobs() < 4,
+                    reason="speedup needs >= 4 usable cores")
+def test_fig09_parallel_wall_clock_speedup():
+    """With real cores available, 4 workers must at least halve the
+    serial wall-clock of a reduced fig09 sweep."""
+    import time
+
+    kwargs = dict(qps_values=[1, 5, 10, 25],
+                  modes=[OdpSetup.NONE, OdpSetup.SERVER,
+                         OdpSetup.CLIENT, OdpSetup.BOTH],
+                  scale=32)
+    started = time.perf_counter()
+    serial = run_figure9(processes=1, **kwargs)
+    serial_s = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = run_figure9(processes=4, **kwargs)
+    parallel_s = time.perf_counter() - started
+    assert serial.render() == parallel.render()
+    assert parallel_s <= 0.5 * serial_s, \
+        f"parallel {parallel_s:.1f}s vs serial {serial_s:.1f}s"
