@@ -76,6 +76,13 @@ class MicrobenchConfig:
     seed: int = 0
     #: data byte written at the start of each server-side message
     fill_server_data: bool = True
+    #: when True (the default, and what the tests use), payloads carry
+    #: real bytes end to end and completed READs are verified against the
+    #: server-side fill pattern.  When False the NICs run in lazy-payload
+    #: mode: payloads are (pattern, length) descriptors, no buffer bytes
+    #: are read or written, and big sweeps drop the per-packet byte
+    #: copies — timing and packet metrics are bit-identical either way.
+    integrity: bool = True
     #: CPU cost of one ``ibv_post_send`` call; even with interval=0 the
     #: posting loop spaces operations by this much, which determines how
     #: far apart two posts to the *same* QP land when many QPs are used.
@@ -115,6 +122,10 @@ class MicrobenchResult:
     client_page_faults: int
     server_page_faults: int
     errors: int
+    #: completed READs whose landed bytes did not match the server-side
+    #: fill pattern (only checked when ``config.integrity`` is on and the
+    #: server buffer was filled; always 0 in lazy-payload mode).
+    integrity_errors: int = 0
 
     @property
     def execution_time_s(self) -> float:
@@ -151,6 +162,9 @@ def run_microbench(config: MicrobenchConfig,
         on_cluster(cluster)
     sim = cluster.sim
     client_node, server_node = cluster.nodes
+    if not config.integrity:
+        for node in cluster.nodes:
+            node.rnic.lazy_payloads = True
 
     client_ctx = client_node.open_device()
     server_ctx = server_node.open_device()
@@ -164,7 +178,8 @@ def run_microbench(config: MicrobenchConfig,
 
     local_buf = client_node.mmap(config.buffer_bytes)
     remote_buf = server_node.mmap(config.buffer_bytes)
-    if config.fill_server_data and not config.odp.server_odp:
+    if config.integrity and config.fill_server_data \
+            and not config.odp.server_odp:
         # Mark each message so data integrity is checkable; touching an
         # ODP buffer would spoil the first-touch fault pattern, so only
         # pinned server buffers get filled.
@@ -219,6 +234,15 @@ def run_microbench(config: MicrobenchConfig,
     server_rnic = server_node.rnic
     timeouts = sum(qp.requester.timeouts for qp in client_qps)
     errors = sum(1 for _wr, _t, status in completions if status.is_error)
+    integrity_errors = 0
+    if config.integrity and config.fill_server_data \
+            and not config.odp.server_odp:
+        for wr_id, _t, status in completions:
+            if status is not WcStatus.SUCCESS:
+                continue
+            if local_buf.read(wr_id * config.size, 1) \
+                    != bytes([wr_id % 256]):
+                integrity_errors += 1
     return MicrobenchResult(
         config=config,
         execution_time_ns=timing["end"] - timing["start"],
@@ -238,4 +262,5 @@ def run_microbench(config: MicrobenchConfig,
         client_page_faults=client_rnic.odp.client_faults,
         server_page_faults=server_rnic.odp.server_faults,
         errors=errors,
+        integrity_errors=integrity_errors,
     )

@@ -1,0 +1,409 @@
+"""Packet data-path micro-benchmark: the fig09-shaped flood hot loop.
+
+The flood sweep (Figure 9) pushes millions of packets per point, and the
+per-packet cost is dominated by exactly three things: constructing the
+packet record, consulting its ``wire_size`` at every hop (inject /
+transmit / deliver), and moving the payload bytes.  This bench measures
+packets/second through that loop in three configurations:
+
+* **seed** — a frozen, verbatim copy of the pre-overhaul data path:
+  ``@dataclass`` packet records whose ``wire_size`` is a property
+  recomputed per consultation, a fresh AETH object per ACK/NAK, link
+  serialisation time recomputed per packet, and real payload bytes
+  copied out of a buffer and sliced into MTU chunks;
+* **slotted** — the current ``__slots__`` records (``wire_size`` fixed at
+  construction, interned AETH flyweights, cached serialisation) still
+  carrying real payload bytes (integrity mode);
+* **lazy** — the current records with :class:`~repro.ib.packets.PayloadRef`
+  descriptors instead of bytes (the mode the big sweeps run in).
+
+A second section runs the *actual* micro-benchmark end to end on a
+fig09-shaped flood point and a fig04-shaped damming point, once with
+integrity payloads and once lazy, and asserts the summary metrics are
+bit-identical — the contract that makes lazy mode safe for the figures.
+
+Run ``python -m repro.bench.packetbench`` from the repo root; it writes
+``BENCH_datapath.json`` (see the README's Performance section).  Use
+``--smoke`` in CI for a seconds-long sanity run, and
+``--check BENCH_datapath.json`` to fail when the freshly measured
+speedup regresses more than 30% below the committed report (ratios are
+machine-independent; raw packets/sec are not).
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.bench.microbench import MicrobenchConfig, OdpSetup, run_microbench
+from repro.ib.opcodes import Opcode, Syndrome, is_read_response, is_request
+from repro.ib.packets import (Aeth, Packet, PayloadRef, Reth,
+                              reset_packet_serials)
+from repro.net.link import RATE_BYTES_PER_SEC
+from repro.sim.timebase import MS
+
+#: FDR link speed, as the flood experiments use.
+_BYTES_PER_NS = RATE_BYTES_PER_SEC["FDR"] * 8 / 1e9 / 8
+
+#: Flood message size (Figure 9 uses 100-byte READs).
+_SIZE = 100
+_MTU = 4096
+
+_BASE_HEADER_BYTES = 26
+_RETH_BYTES = 16
+_AETH_BYTES = 4
+_ATOMIC_ETH_BYTES = 28
+
+
+# ----------------------------------------------------------------------
+# Frozen seed data path (PR 1 state), kept verbatim as the baseline:
+# dataclass records, per-consultation wire_size property, fresh AETH per
+# NAK, uncached serialisation, real payload bytes end to end.
+# ----------------------------------------------------------------------
+
+@dataclass
+class _SeedReth:
+    vaddr: int
+    rkey: int
+    dma_length: int
+
+
+@dataclass
+class _SeedAeth:
+    syndrome: Syndrome
+    msn: int = 0
+    rnr_timer_ns: int = 0
+
+
+_seed_serial = itertools.count(1)
+
+
+@dataclass
+class _SeedPacket:
+    src_lid: int
+    dst_lid: int
+    src_qpn: int
+    dst_qpn: int
+    opcode: Opcode
+    psn: int
+    ack_req: bool = False
+    payload: Optional[bytes] = None
+    reth: Optional[_SeedReth] = None
+    aeth: Optional[_SeedAeth] = None
+    retransmission: bool = False
+    serial: int = field(default_factory=lambda: next(_seed_serial))
+
+    @property
+    def payload_size(self) -> int:
+        return len(self.payload) if self.payload is not None else 0
+
+    @property
+    def wire_size(self) -> int:
+        size = _BASE_HEADER_BYTES + self.payload_size
+        if self.reth is not None:
+            size += _RETH_BYTES
+        if self.aeth is not None:
+            size += _AETH_BYTES
+        if self.opcode in (Opcode.COMPARE_SWAP, Opcode.FETCH_ADD):
+            size += _ATOMIC_ETH_BYTES
+        return size
+
+    @property
+    def is_request(self) -> bool:
+        return is_request(self.opcode)
+
+    @property
+    def is_read_response(self) -> bool:
+        return is_read_response(self.opcode)
+
+
+def _seed_serialization_ns(wire_size: int) -> int:
+    return max(1, round(wire_size / _BYTES_PER_NS / 8) * 8 or 1)
+
+
+def _seed_hop(packet: _SeedPacket) -> int:
+    """The seed per-packet fabric consultations.
+
+    Every packet crosses two link transmits (host->switch and
+    switch->host), each doing a defensive ``getattr`` plus a fresh
+    serialisation computation, bracketed by the inject/deliver byte
+    counters — four ``wire_size`` property recomputations and two
+    serialisation recomputations per packet — and the receiving NIC's
+    dispatch predicates."""
+    total = packet.wire_size                                   # inject
+    total += _seed_serialization_ns(getattr(packet, "wire_size", 64))
+    total += _seed_serialization_ns(getattr(packet, "wire_size", 64))
+    total += packet.wire_size                                  # deliver
+    _ = packet.is_request                                      # dispatch
+    if not packet.is_request:
+        _ = packet.is_read_response
+    return total
+
+
+def seed_flood_datapath(ops: int) -> int:
+    """``ops`` flood round trips through the seed data path; returns the
+    packet count (request + response + NAK per op)."""
+    server_page = bytes(range(256)) * 16  # the DMA source page
+    packets = 0
+    for i in range(ops):
+        psn = i & 0xFFFFFF
+        off = (i * _SIZE) % _MTU
+        req = _SeedPacket(1, 2, 0x40, 0x41, Opcode.RDMA_READ_REQUEST, psn,
+                          ack_req=True,
+                          reth=_SeedReth(0x10_0000_0000 + off, 0x1234, _SIZE),
+                          retransmission=True)
+        _seed_hop(req)
+        # Responder DMA read + MTU chunking, real bytes.
+        data = bytes(server_page[off:off + _SIZE])
+        chunks = [data[j:j + _MTU] for j in range(0, len(data), _MTU)] or [b""]
+        for k, chunk in enumerate(chunks):
+            resp = _SeedPacket(2, 1, 0x41, 0x40,
+                               Opcode.RDMA_READ_RESPONSE_ONLY,
+                               (psn + k) & 0xFFFFFF, payload=chunk)
+            _seed_hop(resp)
+        nak = _SeedPacket(2, 1, 0x41, 0x40, Opcode.ACKNOWLEDGE, psn,
+                          aeth=_SeedAeth(Syndrome.RNR_NAK, i & 0xFFFF,
+                                         rnr_timer_ns=round(1.28 * MS)))
+        _seed_hop(nak)
+        packets += 2 + len(chunks)
+    return packets
+
+
+# ----------------------------------------------------------------------
+# Current data path: slotted records, fixed wire_size, interned AETH,
+# cached serialisation; payloads real (integrity) or lazy (PayloadRef).
+# ----------------------------------------------------------------------
+
+def _current_hop(packet: Packet, ser_cache: Dict[int, int]) -> int:
+    """The same consultations as :func:`_seed_hop` on the current path:
+    ``wire_size`` is a plain attribute, serialisation is one dict hit
+    per transmit, predicates are precomputed attributes."""
+    total = packet.wire_size                                   # inject
+    for _hop in (0, 1):                                        # 2 transmits
+        wire_size = packet.wire_size
+        ser = ser_cache.get(wire_size)
+        if ser is None:
+            ser = round(wire_size / _BYTES_PER_NS / 8) * 8 or 1
+            ser_cache[wire_size] = ser
+        total += ser
+    total += packet.wire_size                                  # deliver
+    _ = packet.is_request                                      # dispatch
+    if not packet.is_request:
+        _ = packet.is_read_response
+    return total
+
+
+def current_flood_datapath(ops: int, lazy: bool) -> int:
+    """``ops`` flood round trips through the current data path."""
+    server_page = bytes(range(256)) * 16
+    ser_cache: Dict[int, int] = {}
+    packets = 0
+    for i in range(ops):
+        psn = i & 0xFFFFFF
+        off = (i * _SIZE) % _MTU
+        req = Packet(1, 2, 0x40, 0x41, Opcode.RDMA_READ_REQUEST, psn,
+                     ack_req=True,
+                     reth=Reth(0x10_0000_0000 + off, 0x1234, _SIZE),
+                     retransmission=True)
+        _current_hop(req, ser_cache)
+        if lazy:
+            chunks: List[Any] = [PayloadRef(off & 0xFF,
+                                            min(_MTU, _SIZE - j))
+                                 for j in range(0, _SIZE, _MTU)] \
+                or [PayloadRef(0, 0)]
+        else:
+            data = bytes(server_page[off:off + _SIZE])
+            chunks = [data[j:j + _MTU]
+                      for j in range(0, len(data), _MTU)] or [b""]
+        for k, chunk in enumerate(chunks):
+            resp = Packet(2, 1, 0x41, 0x40, Opcode.RDMA_READ_RESPONSE_ONLY,
+                          (psn + k) & 0xFFFFFF, payload=chunk)
+            _current_hop(resp, ser_cache)
+        nak = Packet(2, 1, 0x41, 0x40, Opcode.ACKNOWLEDGE, psn,
+                     aeth=Aeth.of(Syndrome.RNR_NAK, i & 0xFFFF,
+                                  rnr_timer_ns=round(1.28 * MS)))
+        _current_hop(nak, ser_cache)
+        packets += 2 + len(chunks)
+    return packets
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the real micro-benchmark, lazy vs integrity
+# ----------------------------------------------------------------------
+
+def _summary(result) -> Dict[str, Any]:
+    """The figure-feeding metrics of one run, for bit-identity checks."""
+    return {
+        "execution_time_ns": result.execution_time_ns,
+        "total_packets": result.total_packets,
+        "timeouts": result.timeouts,
+        "rnr_naks": result.rnr_naks,
+        "seq_naks": result.seq_naks,
+        "flaw_drops": result.flaw_drops,
+        "responses_discarded_odp": result.responses_discarded_odp,
+        "responses_discarded_rnr": result.responses_discarded_rnr,
+        "blind_retransmit_rounds": result.blind_retransmit_rounds,
+        "client_page_faults": result.client_page_faults,
+        "server_page_faults": result.server_page_faults,
+        "errors": result.errors,
+        "completions": [(w, t, s.value) for w, t, s in result.completions],
+    }
+
+
+def _e2e_point(config: MicrobenchConfig) -> Dict[str, Any]:
+    """Run one config lazy and with integrity; wall-clock both."""
+    timed: Dict[str, Any] = {}
+    for mode, integrity in (("integrity", True), ("lazy", False)):
+        cfg = MicrobenchConfig(**{**config.__dict__, "integrity": integrity})
+        started = time.perf_counter()
+        result = run_microbench(cfg)
+        elapsed = time.perf_counter() - started
+        timed[mode] = {
+            "wall_s": round(elapsed, 4),
+            "packets_per_sec": round(result.total_packets / elapsed, 1)
+            if elapsed > 0 else float("inf"),
+            "summary": _summary(result),
+        }
+        if integrity:
+            timed[mode]["integrity_errors"] = result.integrity_errors
+    timed["bit_identical"] = (timed["integrity"]["summary"]
+                              == timed["lazy"]["summary"])
+    timed["speedup"] = round(timed["lazy"]["packets_per_sec"]
+                             / timed["integrity"]["packets_per_sec"], 2)
+    # Summaries proved equal (or the report flags it); keep one copy.
+    packets = timed["integrity"]["summary"]["total_packets"]
+    del timed["integrity"]["summary"], timed["lazy"]["summary"]
+    timed["total_packets"] = packets
+    return timed
+
+
+def _fig09_config(num_ops: int, num_qps: int) -> MicrobenchConfig:
+    return MicrobenchConfig(size=_SIZE, num_ops=num_ops,
+                            num_qps=min(num_qps, num_ops),
+                            odp=OdpSetup.CLIENT, cack=18,
+                            min_rnr_timer_ns=round(1.28 * MS), seed=3)
+
+
+def _fig04_config() -> MicrobenchConfig:
+    return MicrobenchConfig(num_ops=2, odp=OdpSetup.BOTH,
+                            interval_us=2000.0,
+                            min_rnr_timer_ns=round(1.28 * MS), seed=7)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def run_bench(ops: int, repeats: int = 3,
+              e2e_ops: int = 128, e2e_qps: int = 16) -> Dict[str, Any]:
+    """Measure the synthetic flood data path (seed vs current) and the
+    end-to-end lazy/integrity contract; best rate of ``repeats`` runs."""
+
+    def best(fn) -> float:
+        rates = []
+        for _ in range(repeats):
+            reset_packet_serials()
+            started = time.perf_counter()
+            packets = fn()
+            elapsed = time.perf_counter() - started
+            rates.append(packets / elapsed if elapsed > 0 else float("inf"))
+        return round(max(rates), 1)
+
+    synthetic: Dict[str, Any] = {
+        "ops_per_run": ops,
+        "seed_pps": best(lambda: seed_flood_datapath(ops)),
+        "slotted_pps": best(lambda: current_flood_datapath(ops, lazy=False)),
+        "lazy_pps": best(lambda: current_flood_datapath(ops, lazy=True)),
+    }
+    synthetic["speedup_slotted"] = round(synthetic["slotted_pps"]
+                                         / synthetic["seed_pps"], 2)
+    synthetic["speedup_lazy"] = round(synthetic["lazy_pps"]
+                                      / synthetic["seed_pps"], 2)
+
+    end_to_end = {
+        "fig09_flood": _e2e_point(_fig09_config(e2e_ops, e2e_qps)),
+        "fig04_damming": _e2e_point(_fig04_config()),
+    }
+    return {"synthetic": synthetic, "end_to_end": end_to_end}
+
+
+def check_report(report: Dict[str, Any], committed_path: str,
+                 tolerance: float = 0.7) -> List[str]:
+    """Regression gate: compare ``report`` to the committed baseline.
+
+    Speedup ratios are compared (machine-independent); a measured lazy
+    speedup below ``tolerance`` x the committed one — i.e. a >30%
+    relative packets/sec regression at the default — fails, as does any
+    broken bit-identity.
+    """
+    with open(committed_path) as fh:
+        committed = json.load(fh)
+    failures: List[str] = []
+    committed_speedup = committed["workloads"]["synthetic"]["speedup_lazy"]
+    measured_speedup = report["workloads"]["synthetic"]["speedup_lazy"]
+    floor = committed_speedup * tolerance
+    if measured_speedup < floor:
+        failures.append(
+            f"synthetic lazy speedup {measured_speedup}x is below "
+            f"{floor:.2f}x ({tolerance:.0%} of committed "
+            f"{committed_speedup}x)")
+    for name, point in report["workloads"]["end_to_end"].items():
+        if not point["bit_identical"]:
+            failures.append(f"end-to-end {name}: lazy metrics diverge "
+                            "from integrity metrics")
+        errors = point["integrity"].get("integrity_errors", 0)
+        if errors:
+            failures.append(f"end-to-end {name}: {errors} integrity errors")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="packetbench",
+        description="Benchmark the packet data path against the frozen "
+                    "seed baseline and write BENCH_datapath.json.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small op counts (CI sanity run)")
+    parser.add_argument("--ops", type=int, default=None,
+                        help="flood ops per synthetic run (overrides --smoke)")
+    parser.add_argument("--output", default="BENCH_datapath.json",
+                        help="output path (default: ./BENCH_datapath.json)")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare against a committed report; exit 1 "
+                             "on >30%% speedup regression or broken "
+                             "bit-identity")
+    args = parser.parse_args(argv)
+
+    ops = args.ops if args.ops is not None else \
+        (20_000 if args.smoke else 200_000)
+    smoke = args.smoke and args.ops is None
+    results = run_bench(ops, repeats=2 if args.smoke else 3,
+                        e2e_ops=64 if args.smoke else 128,
+                        e2e_qps=8 if args.smoke else 16)
+    report = {
+        "bench": "repro.bench.packetbench",
+        "mode": "smoke" if smoke else "full",
+        "python": sys.version.split()[0],
+        "workloads": results,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    if args.check is not None:
+        failures = check_report(report, args.check)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("check passed: no regression against", args.check)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

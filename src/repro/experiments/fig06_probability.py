@@ -64,6 +64,7 @@ def _probability(side: OdpSetup, interval_ms: float, rnr_delay_ms: float,
         result = run_microbench(MicrobenchConfig(
             num_ops=2, odp=side, interval_us=interval_ms * 1000,
             min_rnr_timer_ns=round(rnr_delay_ms * MS),
+            integrity=False,
             seed=seed * 40_009 + trial))
         timeouts += 1 if result.timed_out else 0
     return timeouts / trials

@@ -64,6 +64,7 @@ def run_figure7(num_ops_list: Optional[List[int]] = None,
                     num_ops=num_ops, odp=OdpSetup.BOTH,
                     interval_us=interval * 1000,
                     min_rnr_timer_ns=round(1.28 * MS),
+                    integrity=False,
                     seed=seed * 50_021 + trial))
                 timeouts += 1 if run.timed_out else 0
             result.probabilities[num_ops][interval] = timeouts / trials

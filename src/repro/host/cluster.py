@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.host.node import Node
 from repro.ib.device import DeviceProfile, get_device, get_system
+from repro.ib.packets import reset_packet_serials
 from repro.net.network import Network
 from repro.sim.engine import Simulator
 
@@ -44,6 +45,10 @@ class Cluster:
                  device: str = "ConnectX-4", nodes: int = 2,
                  profile: Optional[DeviceProfile] = None,
                  seed: int = 0):
+        # Every experiment builds a fresh cluster, so restarting the
+        # packet serial numbering here makes traces from back-to-back
+        # runs in one process byte-for-byte comparable.
+        reset_packet_serials()
         self.sim = sim if sim is not None else Simulator(seed=seed)
         self.profile = profile if profile is not None else get_device(device)
         self.network = Network(self.sim, rate=self.profile.rate)

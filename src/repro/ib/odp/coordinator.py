@@ -30,6 +30,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 QpPageKey = Tuple[int, int, int]  # (qpn, mr.handle, page)
 PageKey = Tuple[int, int]         # (mr.handle, page)
+ReadyKey = Tuple[int, int, int, int]  # (qpn, mr.handle, addr, size)
+
+#: Stale ready-cache entries tolerated before a bulk purge.
+_READY_CACHE_LIMIT = 1 << 16
 
 
 class OdpCoordinator:
@@ -45,9 +49,29 @@ class OdpCoordinator:
         self._stale: Set[QpPageKey] = set()
         self._stale_by_qpn: Dict[int, int] = {}
         self._fresh_futures: Dict[QpPageKey, Future] = {}
+        #: memoised requester_range_ready verdicts, stamped with the
+        #: (view generation, translation generation) pair that produced
+        #: them.  The status engine's resolve transitions and the
+        #: invalidation flow bump the view generation, so the flood's
+        #: millions of identical "is my local range fresh yet?" checks
+        #: between two engine transitions cost one dict hit each.
+        self._ready_cache: Dict[ReadyKey, Tuple[Tuple[int, int], bool]] = {}
+        self._view_gen = 0
+        self.ready_cache_hits = 0
+        self.ready_cache_misses = 0
         self.client_faults = 0
         self.server_faults = 0
         rnic.status_engine.load_fn = self.retransmit_load
+        # Fault transitions (resume enqueues) also invalidate: a range
+        # answered "ready" can never be made unready by a fault alone,
+        # but the conservative bump keeps the cache contract trivially
+        # audit-able against the engine's transition log.
+        rnic.status_engine.transition_hook = self._bump_view_gen
+
+    def _bump_view_gen(self) -> None:
+        self._view_gen += 1
+        if len(self._ready_cache) > _READY_CACHE_LIMIT:
+            self._ready_cache.clear()
 
     # ------------------------------------------------------------------
     # Responder (server-side ODP): stateless translation checks
@@ -72,14 +96,26 @@ class OdpCoordinator:
         """Can QP ``qpn`` use this local range right now?
 
         Requires both a valid translation *and* the page in the QP's own
-        status view.
+        status view.  Memoised per (QP, MR, range); see ``_ready_cache``.
         """
+        translation = self.rnic.translation
+        handle = mr.handle
+        key = (qpn, handle, addr, size)
+        stamp = (self._view_gen, translation.generation)
+        hit = self._ready_cache.get(key)
+        if hit is not None and hit[0] == stamp:
+            self.ready_cache_hits += 1
+            return hit[1]
+        self.ready_cache_misses += 1
+        view = self._view
+        mapped = translation._mapped  # noqa: SLF001 - same-device fast path
+        verdict = True
         for page in mr.pages_of_range(addr, size):
-            if not self.rnic.translation.is_mapped(mr, page):
-                return False
-            if (qpn, mr.handle, page) not in self._view:
-                return False
-        return True
+            if (handle, page) not in mapped or (qpn, handle, page) not in view:
+                verdict = False
+                break
+        self._ready_cache[key] = (stamp, verdict)
+        return verdict
 
     def requester_wait_fresh(self, qpn: int, mr: "MemoryRegion",
                              addr: int, size: int) -> Future:
@@ -131,7 +167,8 @@ class OdpCoordinator:
         self._view.add(key)
         self._view_by_page.setdefault((key[1], key[2]), set()).add(key[0])
         self._fresh_futures.pop(key, None)
-        fresh.resolve(key[2])
+        self._bump_view_gen()  # resolve transition: cached "not ready"
+        fresh.resolve(key[2])  # verdicts for this QP/page are now stale
 
     # ------------------------------------------------------------------
     # Prefetch / prewarm
@@ -158,6 +195,7 @@ class OdpCoordinator:
                 self._view.add(key)
                 self._view_by_page.setdefault((mr.handle, page),
                                               set()).add(qpn)
+        self._bump_view_gen()
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -170,6 +208,7 @@ class OdpCoordinator:
             return
         for qpn in qpns:
             self._view.discard((qpn, mr.handle, page))
+        self._bump_view_gen()  # cached "ready" verdicts are now stale
 
     # ------------------------------------------------------------------
 

@@ -53,6 +53,11 @@ class PageStatusEngine:
         #: Supplied by the RNIC: current retransmission pressure
         #: (outstanding READs summed over stale QPs).
         self.load_fn: Callable[[], int] = lambda: 0
+        #: Fired on every fault (enqueue) and resolve (completion)
+        #: transition; the ODP coordinator wires this to its translation/
+        #: view range-cache invalidation so memoised readiness verdicts
+        #: can never outlive the engine state that produced them.
+        self.transition_hook: Optional[Callable[[], None]] = None
 
     @property
     def backlog(self) -> int:
@@ -65,6 +70,8 @@ class PageStatusEngine:
         when the QP's view becomes fresh."""
         item = ResumeItem(qpn, mr_handle, page, self.sim.now, callback)
         self._stack.append(item)
+        if self.transition_hook is not None:
+            self.transition_hook()  # fault transition
         self.max_backlog = max(self.max_backlog, self.backlog)
         if not self._busy:
             # Defer the first pop one event so that a batch of resumes
@@ -95,4 +102,6 @@ class PageStatusEngine:
         self.resumes_done += 1
         self.total_wait_ns += self.sim.now - item.enqueued_at
         item.callback()
+        if self.transition_hook is not None:
+            self.transition_hook()  # resolve transition
         self._serve_next()

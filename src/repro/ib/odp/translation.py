@@ -1,10 +1,20 @@
-"""The NIC's translation table.
+"""The NIC's translation table, fronted by an MTT-style range cache.
 
 Tracks, per (memory region, page), whether the RNIC holds a valid
 virtual-to-physical mapping.  Pinned registrations populate their whole
 range at registration time; ODP registrations start empty and fill in as
 the driver resolves network page faults.  Kernel reclaim flushes entries
 through :meth:`unmap_page`.
+
+Every READ/WRITE the responder services asks "is this whole byte range
+translatable?" — under flood that question is asked millions of times
+for the same handful of ranges, so :meth:`range_mapped` memoises its
+answer per ``(mr, addr, size)`` the way a NIC's MTT caches translation
+ranges.  Cached answers are stamped with a **generation** that every
+mapping change (fault resolution installing a page, invalidation or
+deregistration removing one) bumps, so a stale entry can never be
+served: resolved pages stop paying the per-page dictionary walk, and an
+eviction instantly re-opens the walk.
 """
 
 from __future__ import annotations
@@ -15,6 +25,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.ib.verbs.mr import MemoryRegion
 
 PageKey = Tuple[int, int]  # (mr.handle, page index)
+RangeKey = Tuple[int, int, int]  # (mr.handle, addr, size)
+
+#: Stale range-cache entries tolerated before a bulk purge.
+_RANGE_CACHE_LIMIT = 1 << 16
 
 
 class NicTranslationTable:
@@ -22,17 +36,51 @@ class NicTranslationTable:
 
     def __init__(self) -> None:
         self._mapped: Set[PageKey] = set()
+        #: (mr, addr, size) -> (generation, verdict); entries from older
+        #: generations are dead and lazily overwritten.
+        self._range_cache: Dict[RangeKey, Tuple[int, bool]] = {}
+        self._gen = 0
         self.map_events = 0
         self.unmap_events = 0
+        self.range_cache_hits = 0
+        self.range_cache_misses = 0
+
+    @property
+    def generation(self) -> int:
+        """Mapping-change counter; any bump invalidates cached ranges."""
+        return self._gen
+
+    def _bump(self) -> None:
+        self._gen += 1
+        if len(self._range_cache) > _RANGE_CACHE_LIMIT:
+            self._range_cache.clear()
 
     def is_mapped(self, mr: "MemoryRegion", page: int) -> bool:
         """True when the NIC can translate ``page`` of ``mr``."""
         return (mr.handle, page) in self._mapped
 
     def range_mapped(self, mr: "MemoryRegion", addr: int, size: int) -> bool:
-        """True when every page of ``[addr, addr+size)`` is mapped."""
-        return all(self.is_mapped(mr, page)
-                   for page in mr.pages_of_range(addr, size))
+        """True when every page of ``[addr, addr+size)`` is mapped.
+
+        Memoised per range; see the module docstring for the
+        generation-based invalidation contract.
+        """
+        key = (mr.handle, addr, size)
+        hit = self._range_cache.get(key)
+        gen = self._gen
+        if hit is not None and hit[0] == gen:
+            self.range_cache_hits += 1
+            return hit[1]
+        self.range_cache_misses += 1
+        mapped = self._mapped
+        handle = mr.handle
+        verdict = True
+        for page in mr.pages_of_range(addr, size):
+            if (handle, page) not in mapped:
+                verdict = False
+                break
+        self._range_cache[key] = (gen, verdict)
+        return verdict
 
     def missing_pages(self, mr: "MemoryRegion", addr: int, size: int) -> List[int]:
         """Pages of the range the NIC cannot translate."""
@@ -45,6 +93,7 @@ class NicTranslationTable:
         if key not in self._mapped:
             self._mapped.add(key)
             self.map_events += 1
+            self._bump()
 
     def map_range(self, mr: "MemoryRegion", addr: int, size: int) -> None:
         """Install translations for a whole range (pinned registration)."""
@@ -57,6 +106,7 @@ class NicTranslationTable:
         if key in self._mapped:
             self._mapped.remove(key)
             self.unmap_events += 1
+            self._bump()
 
     def unmap_all(self, mr: "MemoryRegion") -> int:
         """Flush every entry of ``mr`` (deregistration); returns count."""
@@ -64,6 +114,8 @@ class NicTranslationTable:
         for key in keys:
             self._mapped.remove(key)
         self.unmap_events += len(keys)
+        if keys:
+            self._bump()
         return len(keys)
 
     def mapped_pages(self) -> int:

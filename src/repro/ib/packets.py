@@ -1,20 +1,35 @@
-"""Wire-level packet records.
+"""Wire-level packet records — the zero-allocation data path.
 
 A :class:`Packet` mirrors the headers relevant to the paper's analysis:
 the routing fields of the LRH (LIDs), the BTH (opcode, destination QP,
 PSN, ack-request bit), the RETH for RDMA operations (remote address,
 rkey, DMA length) and the AETH for acknowledgements (syndrome, RNR
-timer).  Payload bytes are carried for real so end-to-end data integrity
-can be asserted in tests.
+timer).
+
+The flood experiments push millions of packets through the fabric per
+sweep point, so the per-packet cost is engineered down:
+
+* ``Packet``/``Reth``/``Aeth`` are ``__slots__`` classes; ``wire_size``
+  and ``payload_size`` are computed **once at construction** (header
+  fields are fixed for the life of a packet — pass ``payload``/``reth``/
+  ``aeth`` to the constructor, do not mutate them afterwards unless the
+  replacement has the same wire footprint);
+* ACK/NAK headers are interned flyweights (:meth:`Aeth.of`): a
+  retransmit storm re-sends the same (syndrome, MSN, timer) triple
+  thousands of times and shares one immutable instance;
+* payloads are either real ``bytes`` (integrity mode, the default — so
+  tests can assert end-to-end data integrity) or a :class:`PayloadRef`
+  ``(pattern, length)`` descriptor (lazy mode, used by the big flood
+  sweeps) that materialises bytes only on demand.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Tuple, Union
 
-from repro.ib.opcodes import Opcode, Syndrome, is_read_response, is_request
+from repro.ib.opcodes import (Opcode, Syndrome, is_read_response,
+                              is_request)
 
 # Header byte counts (LRH 8, BTH 12, ICRC 4, VCRC 2).
 BASE_HEADER_BYTES = 26
@@ -25,74 +40,163 @@ ATOMIC_ETH_BYTES = 28
 _packet_serial = itertools.count(1)
 
 
-@dataclass
+def reset_packet_serials(start: int = 1) -> None:
+    """Restart the packet serial counter.
+
+    Called by :class:`repro.host.cluster.Cluster` at construction so
+    every experiment run numbers its packets from ``start`` — back-to-
+    back runs in one process produce the same serials as fresh sweep
+    worker processes (serial-vs-parallel determinism).
+    """
+    global _packet_serial
+    _packet_serial = itertools.count(start)
+
+
+class PayloadRef:
+    """A lazy payload: ``(pattern, length)`` instead of real bytes.
+
+    Big sweeps do not need payload *contents*, only payload *sizes*
+    (which determine wire occupancy); a descriptor skips the
+    memory-image read/write and the bytes allocation on every hop.
+    ``to_bytes`` materialises a real buffer when something (debugging,
+    an integrity check) insists on bytes.
+    """
+
+    __slots__ = ("pattern", "length")
+
+    def __init__(self, pattern: int, length: int):
+        self.pattern = pattern & 0xFF
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    def to_bytes(self) -> bytes:
+        """Materialise the described payload."""
+        return bytes([self.pattern]) * self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PayloadRef {self.pattern:#04x}x{self.length}>"
+
+
+#: A packet payload: real bytes, a lazy descriptor, or absent.
+Payload = Union[bytes, PayloadRef]
+
+
+def payload_bytes(payload: Optional[Payload]) -> bytes:
+    """Real bytes of a payload, materialising descriptors."""
+    if payload is None:
+        return b""
+    if type(payload) is PayloadRef:
+        return payload.to_bytes()
+    return payload
+
+
 class Reth:
     """RDMA Extended Transport Header: where the operation targets."""
 
-    vaddr: int
-    rkey: int
-    dma_length: int
+    __slots__ = ("vaddr", "rkey", "dma_length")
+
+    def __init__(self, vaddr: int, rkey: int, dma_length: int):
+        self.vaddr = vaddr
+        self.rkey = rkey
+        self.dma_length = dma_length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Reth {self.vaddr:#x}+{self.dma_length} rkey={self.rkey:#x}>"
 
 
-@dataclass
 class Aeth:
-    """ACK Extended Transport Header: syndrome + message sequence number."""
+    """ACK Extended Transport Header: syndrome + message sequence number.
 
-    syndrome: Syndrome
-    msn: int = 0
-    rnr_timer_ns: int = 0
+    Instances obtained through :meth:`of` are interned flyweights and
+    MUST be treated as immutable (the transport only ever reads them).
+    """
+
+    __slots__ = ("syndrome", "msn", "rnr_timer_ns")
+
+    _interned: Dict[Tuple[Syndrome, int, int], "Aeth"] = {}
+
+    def __init__(self, syndrome: Syndrome, msn: int = 0,
+                 rnr_timer_ns: int = 0):
+        self.syndrome = syndrome
+        self.msn = msn
+        self.rnr_timer_ns = rnr_timer_ns
+
+    @classmethod
+    def of(cls, syndrome: Syndrome, msn: int = 0,
+           rnr_timer_ns: int = 0) -> "Aeth":
+        """Interned flyweight lookup — the retransmit-storm fast path."""
+        key = (syndrome, msn, rnr_timer_ns)
+        cached = cls._interned.get(key)
+        if cached is None:
+            cached = cls(syndrome, msn, rnr_timer_ns)
+            cls._interned[key] = cached
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Aeth {self.syndrome.value} msn={self.msn}>"
 
 
-@dataclass
+#: Per-opcode wire traits, precomputed once:
+#: (is_request, is_read_response, is_ack, atomic_eth_bytes)
+_OPCODE_TRAITS: Dict[Opcode, Tuple[bool, bool, bool, int]] = {
+    op: (is_request(op), is_read_response(op),
+         op in (Opcode.ACKNOWLEDGE, Opcode.ATOMIC_ACKNOWLEDGE),
+         ATOMIC_ETH_BYTES if op in (Opcode.COMPARE_SWAP,
+                                    Opcode.FETCH_ADD) else 0)
+    for op in Opcode
+}
+
+
 class Packet:
-    """One InfiniBand packet on the simulated wire."""
+    """One InfiniBand packet on the simulated wire.
 
-    src_lid: int
-    dst_lid: int
-    src_qpn: int
-    dst_qpn: int
-    opcode: Opcode
-    psn: int
-    ack_req: bool = False
-    payload: Optional[bytes] = None
-    reth: Optional[Reth] = None
-    aeth: Optional[Aeth] = None
-    #: Set on retransmitted request packets (observability only; real BTHs
-    #: have no such flag, but ibdump analysis infers it from PSN reuse).
-    retransmission: bool = False
-    serial: int = field(default_factory=lambda: next(_packet_serial))
+    All header-derived quantities (``wire_size``, ``payload_size``, the
+    direction predicates) are plain attributes fixed at construction —
+    the link/switch/NIC hot loops read them without recomputation.
+    """
 
-    @property
-    def payload_size(self) -> int:
-        """Payload byte count (0 for header-only packets)."""
-        return len(self.payload) if self.payload is not None else 0
+    __slots__ = ("src_lid", "dst_lid", "src_qpn", "dst_qpn", "opcode",
+                 "psn", "ack_req", "payload", "reth", "aeth",
+                 "retransmission", "serial", "payload_size", "wire_size",
+                 "is_request", "is_read_response", "is_ack")
 
-    @property
-    def wire_size(self) -> int:
-        """Total bytes on the wire, headers included."""
-        size = BASE_HEADER_BYTES + self.payload_size
-        if self.reth is not None:
+    def __init__(self, src_lid: int, dst_lid: int, src_qpn: int,
+                 dst_qpn: int, opcode: Opcode, psn: int,
+                 ack_req: bool = False,
+                 payload: Optional[Payload] = None,
+                 reth: Optional[Reth] = None,
+                 aeth: Optional[Aeth] = None,
+                 retransmission: bool = False,
+                 serial: Optional[int] = None):
+        self.src_lid = src_lid
+        self.dst_lid = dst_lid
+        self.src_qpn = src_qpn
+        self.dst_qpn = dst_qpn
+        self.opcode = opcode
+        self.psn = psn
+        self.ack_req = ack_req
+        self.payload = payload
+        self.reth = reth
+        self.aeth = aeth
+        #: Set on retransmitted request packets (observability only; real
+        #: BTHs have no such flag, but ibdump analysis infers it from PSN
+        #: reuse).
+        self.retransmission = retransmission
+        self.serial = serial if serial is not None else next(_packet_serial)
+        is_req, is_rresp, is_ack, atomic_bytes = _OPCODE_TRAITS[opcode]
+        self.is_request = is_req
+        self.is_read_response = is_rresp
+        self.is_ack = is_ack
+        size = len(payload) if payload is not None else 0
+        self.payload_size = size
+        size += BASE_HEADER_BYTES + atomic_bytes
+        if reth is not None:
             size += RETH_BYTES
-        if self.aeth is not None:
+        if aeth is not None:
             size += AETH_BYTES
-        if self.opcode in (Opcode.COMPARE_SWAP, Opcode.FETCH_ADD):
-            size += ATOMIC_ETH_BYTES
-        return size
-
-    @property
-    def is_request(self) -> bool:
-        """True for requester -> responder packets."""
-        return is_request(self.opcode)
-
-    @property
-    def is_read_response(self) -> bool:
-        """True for READ response packets."""
-        return is_read_response(self.opcode)
-
-    @property
-    def is_ack(self) -> bool:
-        """True for ACK/NAK packets (AETH present, ACKNOWLEDGE opcode)."""
-        return self.opcode in (Opcode.ACKNOWLEDGE, Opcode.ATOMIC_ACKNOWLEDGE)
+        self.wire_size = size
 
     @property
     def is_nak(self) -> bool:

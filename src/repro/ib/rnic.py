@@ -39,6 +39,12 @@ class Rnic:
         self.translation = NicTranslationTable()
         self.status_engine = PageStatusEngine(sim, profile)
         self.odp = OdpCoordinator(sim, self)
+        #: When True, DMA payloads ride as (pattern, length) descriptors
+        #: instead of real bytes — the big sweeps' zero-allocation mode.
+        #: Timing/packet metrics are bit-identical either way (payload
+        #: *sizes* are what the wire model consumes); integrity checks
+        #: need real bytes, so tests leave this False.
+        self.lazy_payloads = False
         self._qps: Dict[int, "QueuePair"] = {}
         self._next_qpn = 0x40
         self._mrs_by_rkey: Dict[int, "MemoryRegion"] = {}

@@ -23,7 +23,7 @@ import math
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.ib.opcodes import Opcode, Syndrome
-from repro.ib.packets import Aeth, Packet, Reth
+from repro.ib.packets import Aeth, Packet, PayloadRef, Reth
 from repro.ib.transport.psn import psn_add, psn_diff
 from repro.ib.verbs.enums import OdpMode, QpState, WcOpcode, WcStatus
 from repro.ib.verbs.wr import WorkCompletion, WorkRequest
@@ -172,12 +172,14 @@ class Requester:
             wqe.transmitted = True
             opcode = (Opcode.COMPARE_SWAP if wr.opcode is WcOpcode.COMP_SWAP
                       else Opcode.FETCH_ADD)
+            # Atomics always carry real operand bytes: they are semantic,
+            # not bulk data, and feed the responder's compare/add.
             packet = self._make_packet(
                 opcode, wqe.first_psn, ack_req=True,
+                payload=wr.compare_add.to_bytes(8, "little")
+                + wr.swap.to_bytes(8, "little"),
                 reth=Reth(wr.remote.addr, wr.remote.rkey, 8),
                 retransmission=retransmission)
-            packet.payload = wr.compare_add.to_bytes(8, "little") + \
-                wr.swap.to_bytes(8, "little")
             self._send(packet, retransmission)
             return True
         # WRITE / SEND: local pages must be readable by the NIC first.
@@ -185,19 +187,18 @@ class Requester:
             self._enter_odp_wait(wqe, from_send_side=True)
             return False
         wqe.transmitted = True
-        payload = self._gather_payload(wr)
         mtu = self.qp.rnic.profile.mtu
-        chunks = [payload[i:i + mtu] for i in range(0, len(payload), mtu)] or [b""]
+        chunks, total_len = self._gather_chunks(wr, mtu)
         is_write = wr.opcode is WcOpcode.RDMA_WRITE
         for index, chunk in enumerate(chunks):
             opcode = self._segment_opcode(is_write, index, len(chunks))
             packet = self._make_packet(
                 opcode, psn_add(wqe.first_psn, index),
                 ack_req=(index == len(chunks) - 1),
+                payload=chunk,
+                reth=(Reth(wr.remote.addr, wr.remote.rkey, total_len)
+                      if is_write and index == 0 else None),
                 retransmission=retransmission)
-            packet.payload = chunk
-            if is_write and index == 0:
-                packet.reth = Reth(wr.remote.addr, wr.remote.rkey, len(payload))
             self._send(packet, retransmission)
         return True
 
@@ -211,13 +212,30 @@ class Requester:
             return Opcode.RDMA_WRITE_LAST if is_write else Opcode.SEND_LAST
         return Opcode.RDMA_WRITE_MIDDLE if is_write else Opcode.SEND_MIDDLE
 
-    def _gather_payload(self, wr: WorkRequest) -> bytes:
+    def _gather_chunks(self, wr: WorkRequest, mtu: int):
+        """MTU-sized payload chunks plus the total byte length.
+
+        In lazy mode (``rnic.lazy_payloads``) the chunks are
+        :class:`PayloadRef` descriptors — same sizes, no DMA read and no
+        byte copies — so the wire/timing model sees an identical stream.
+        Inline data stays real: it is tiny and already gathered.
+        """
         if wr.inline_data is not None:
-            return wr.inline_data
-        return wr.local.mr.vm.read(wr.local.addr, wr.local.length)
+            payload = wr.inline_data
+        elif self.qp.rnic.lazy_payloads:
+            length = wr.local.length
+            pattern = wr.local.addr & 0xFF
+            chunks = [PayloadRef(pattern, min(mtu, length - off))
+                      for off in range(0, length, mtu)] or [PayloadRef(0, 0)]
+            return chunks, length
+        else:
+            payload = wr.local.mr.vm.read(wr.local.addr, wr.local.length)
+        chunks = [payload[i:i + mtu]
+                  for i in range(0, len(payload), mtu)] or [b""]
+        return chunks, len(payload)
 
     def _make_packet(self, opcode: Opcode, psn: int, ack_req: bool = False,
-                     reth: Optional[Reth] = None,
+                     payload=None, reth: Optional[Reth] = None,
                      retransmission: bool = False) -> Packet:
         return Packet(
             src_lid=self.qp.rnic.lid,
@@ -227,6 +245,7 @@ class Requester:
             opcode=opcode,
             psn=psn,
             ack_req=ack_req,
+            payload=payload,
             reth=reth,
             retransmission=retransmission,
         )
@@ -322,7 +341,8 @@ class Requester:
                 # firmware time; posts keep transmitting until then.
                 self._schedule_fault_raise()
             return
-        mr.vm.write(chunk_addr, packet.payload or b"")
+        if not isinstance(packet.payload, PayloadRef):
+            mr.vm.write(chunk_addr, packet.payload or b"")
         wqe.resp_received += 1
         self._note_progress()
         if wqe.resp_received >= wqe.resp_needed:

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Deque, Dict, Optional, Set
 from collections import deque
 
 from repro.ib.opcodes import Opcode, Syndrome
-from repro.ib.packets import Aeth, Packet
+from repro.ib.packets import Aeth, Packet, PayloadRef
 from repro.ib.transport.psn import psn_add, psn_diff
 from repro.ib.verbs.enums import Access, QpState, WcOpcode, WcStatus
 from repro.ib.verbs.wr import RecvRequest, WorkCompletion
@@ -138,9 +138,19 @@ class Responder:
             return
         replay = duplicate or packet.psn in self._faulted_psns
         self._faulted_psns.discard(packet.psn)
-        data = mr.vm.read(reth.vaddr, reth.dma_length)
         mtu = self.qp.rnic.profile.mtu
-        chunks = [data[i:i + mtu] for i in range(0, len(data), mtu)] or [b""]
+        length = reth.dma_length
+        if self.qp.rnic.lazy_payloads:
+            # Zero-copy mode: response payloads are (pattern, length)
+            # descriptors — the wire model only consumes sizes, so the
+            # DMA read and byte slicing are skipped entirely.
+            pattern = reth.vaddr & 0xFF
+            chunks = [PayloadRef(pattern, min(mtu, length - off))
+                      for off in range(0, length, mtu)] or [PayloadRef(0, 0)]
+        else:
+            data = mr.vm.read(reth.vaddr, length)
+            chunks = [data[i:i + mtu]
+                      for i in range(0, len(data), mtu)] or [b""]
         for index, chunk in enumerate(chunks):
             self._send_response(self._read_opcode(index, len(chunks)),
                                 psn_add(packet.psn, index), chunk)
@@ -215,7 +225,7 @@ class Responder:
             return
         replay = packet.psn in self._faulted_psns
         self._faulted_psns.discard(packet.psn)
-        if payload:
+        if payload and not isinstance(payload, PayloadRef):
             mr.vm.write(target_addr, payload)
         last = packet.opcode in (Opcode.RDMA_WRITE_LAST, Opcode.RDMA_WRITE_ONLY,
                                  Opcode.SEND_LAST, Opcode.SEND_ONLY)
@@ -266,7 +276,7 @@ class Responder:
         mr.vm.write(reth.vaddr, new_value.to_bytes(8, "little"))
         self._atomic_cache[packet.psn] = original
         self._send_response(Opcode.ATOMIC_ACKNOWLEDGE, packet.psn, original,
-                            aeth=Aeth(Syndrome.ACK, self.msn))
+                            aeth=Aeth.of(Syndrome.ACK, self.msn))
         self.epsn = psn_add(packet.psn, 1)
         self.msn += 1
         self.requests_executed += 1
@@ -290,7 +300,8 @@ class Responder:
             if cached is not None:
                 self.duplicates_serviced += 1
                 self._send_response(Opcode.ATOMIC_ACKNOWLEDGE, packet.psn,
-                                    cached, aeth=Aeth(Syndrome.ACK, self.msn))
+                                    cached,
+                                    aeth=Aeth.of(Syndrome.ACK, self.msn))
                 self._arm_flaw_window()
             return
         # Duplicate WRITE/SEND segment: confirm progress with an ACK on
@@ -308,7 +319,7 @@ class Responder:
         self.seq_naks_sent += 1
         self.qp.rnic.stats["seq_naks"] += 1
         self._send_response(Opcode.ACKNOWLEDGE, self.epsn, None,
-                            aeth=Aeth(Syndrome.NAK_PSN_SEQ_ERR, self.msn))
+                            aeth=Aeth.of(Syndrome.NAK_PSN_SEQ_ERR, self.msn))
 
     # ------------------------------------------------------------------
     # Helpers
@@ -343,8 +354,8 @@ class Responder:
     def _send_rnr_nak(self, psn: int, fault: bool = True) -> None:
         self.rnr_naks_sent += 1
         self.qp.rnic.stats["rnr_naks"] += 1
-        aeth = Aeth(Syndrome.RNR_NAK, self.msn,
-                    rnr_timer_ns=self.qp.attrs.min_rnr_timer_ns)
+        aeth = Aeth.of(Syndrome.RNR_NAK, self.msn,
+                       rnr_timer_ns=self.qp.attrs.min_rnr_timer_ns)
         if fault:
             # Fault detection + firmware NAK generation take time; this
             # latency bounds the damming interval range from below.
@@ -356,11 +367,11 @@ class Responder:
 
     def _send_ack(self, psn: int) -> None:
         self._send_response(Opcode.ACKNOWLEDGE, psn, None,
-                            aeth=Aeth(Syndrome.ACK, self.msn))
+                            aeth=Aeth.of(Syndrome.ACK, self.msn))
 
     def _send_fatal_nak(self, syndrome: Syndrome, psn: int) -> None:
         self._send_response(Opcode.ACKNOWLEDGE, psn, None,
-                            aeth=Aeth(syndrome, self.msn))
+                            aeth=Aeth.of(syndrome, self.msn))
 
     def _send_response(self, opcode: Opcode, psn: int,
                        payload: Optional[bytes],

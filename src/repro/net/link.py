@@ -10,7 +10,7 @@ back-to-back retransmission bursts at the heart of packet damming.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.sim.engine import Simulator
 
@@ -46,18 +46,40 @@ class LinkEnd:
         self._busy_until = 0
         self.tx_packets = 0
         self.tx_bytes = 0
+        #: wire_size -> serialization_ns.  Traffic uses a handful of
+        #: distinct wire sizes (header-only, header+RETH, MTU chunks),
+        #: so the hot transmit loop reduces to one dict hit.
+        self._ser_cache: Dict[int, int] = {}
 
     def serialization_ns(self, wire_size: int) -> int:
-        """Time the transmitter is occupied by a ``wire_size``-byte packet."""
-        return max(1, round(wire_size / self.bandwidth_bytes_per_ns / 8) * 8 or 1)
+        """Time the transmitter is occupied by a ``wire_size``-byte packet.
+
+        The result is quantized to the 8 ns tick of the serializer
+        clock (the PHY hands off 64-bit words); sub-tick packets still
+        occupy the transmitter for at least 1 ns so that back-to-back
+        zero-length packets cannot collapse onto one timestamp.
+        """
+        cached = self._ser_cache.get(wire_size)
+        if cached is not None:
+            return cached
+        # 8 ns quantization: round the tick count, scale back to ns.
+        ns = round(wire_size / self.bandwidth_bytes_per_ns / 8) * 8 or 1
+        self._ser_cache[wire_size] = ns
+        return ns
 
     def transmit(self, packet: Any) -> int:
         """Queue ``packet`` for transmission; returns its arrival time."""
         if self.deliver is None:
             raise RuntimeError(f"link end {self.name!r} is not connected")
-        wire_size = getattr(packet, "wire_size", 64)
-        start = max(self.sim.now, self._busy_until)
-        self._busy_until = start + self.serialization_ns(wire_size)
+        wire_size = packet.wire_size
+        ser = self._ser_cache.get(wire_size)
+        if ser is None:
+            ser = self.serialization_ns(wire_size)
+        start = self.sim.now
+        busy = self._busy_until
+        if busy > start:
+            start = busy
+        self._busy_until = start + ser
         arrival = self._busy_until + self.propagation_ns
         self.tx_packets += 1
         self.tx_bytes += wire_size

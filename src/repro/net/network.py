@@ -117,23 +117,30 @@ class Network:
     # ------------------------------------------------------------------
 
     def inject(self, src_lid: int, packet: Any) -> None:
-        """Entry point for a host transmitting ``packet``."""
+        """Entry point for a host transmitting ``packet``.
+
+        Taps and loss rules are guarded so a fabric without an attached
+        analyzer or injected faults pays nothing for either feature.
+        """
         stats = self.stats[src_lid]
-        for tap in self._taps:
-            tap(self.sim.now, src_lid, packet)
-        for rule in self._loss_rules:
-            if rule(packet):
-                stats.drops_injected += 1
-                self.drops.append(DropReason(self.sim.now, packet))
-                return
+        if self._taps:
+            now = self.sim.now
+            for tap in self._taps:
+                tap(now, src_lid, packet)
+        if self._loss_rules:
+            for rule in self._loss_rules:
+                if rule(packet):
+                    stats.drops_injected += 1
+                    self.drops.append(DropReason(self.sim.now, packet))
+                    return
         stats.tx_packets += 1
-        stats.tx_bytes += getattr(packet, "wire_size", 64)
+        stats.tx_bytes += packet.wire_size
         self._links[src_lid].a_to_b.transmit(packet)
 
     def _deliver(self, lid: int, packet: Any) -> None:
         stats = self.stats[lid]
         stats.rx_packets += 1
-        stats.rx_bytes += getattr(packet, "wire_size", 64)
+        stats.rx_bytes += packet.wire_size
         self._receivers[lid](packet)
 
     def _on_switch_drop(self, packet: Any, reason: str) -> None:
