@@ -78,10 +78,18 @@ class Sniffer:
     """
 
     def __init__(self, network: "Network", lid: Optional[int] = None,
-                 capacity: Optional[int] = None):
+                 capacity: Optional[int] = None,
+                 synthetic_ok: bool = False):
         self.network = network
         self.lid = lid
         self.capacity = capacity
+        #: When True, this sniffer accepts bulk-synthesised rows for
+        #: storm rounds the simulator fast-forwards (it still records
+        #: every packet, just via :meth:`bulk_append` instead of the
+        #: per-packet tap).  When False — the default — merely being
+        #: attached forces the traffic this sniffer observes onto the
+        #: real per-packet path.
+        self.synthetic_ok = synthetic_ok
         #: Packets that fell off the front of a bounded ring.
         self.dropped = 0
         self._slots: List[Optional[Tuple]] = []
@@ -96,7 +104,11 @@ class Sniffer:
     def attach(self) -> None:
         """Start capturing."""
         if not self._attached:
-            self.network.add_tap(self._tap)
+            self.network.add_tap(
+                self._tap,
+                lids=None if self.lid is None else (self.lid,),
+                synthetic_sink=self.bulk_append if self.synthetic_ok
+                else None)
             self._attached = True
 
     def detach(self) -> None:
@@ -138,6 +150,38 @@ class Sniffer:
                 slots.extend([None] * max(grow, 1))
             slots[index] = row
             self._count = index + 1
+        self._version += 1
+
+    def bulk_append(self, rows: List[Tuple]) -> None:
+        """Record a batch of synthesised capture rows in one call.
+
+        Rows use the same tuple layout the per-packet tap stores and
+        must already be in time order.  This is the sink the network
+        feeds for coalesced storm rounds; bounded rings wrap exactly as
+        they would have packet by packet, and the lazy record cache is
+        invalidated once for the whole batch.
+        """
+        capacity = self.capacity
+        lid = self.lid
+        for row in rows:
+            if lid is not None and lid not in (row[1], row[2]):
+                continue
+            if capacity is not None and self._count >= capacity:
+                slots = self._slots
+                if len(slots) < capacity:
+                    slots.extend([None] * (capacity - len(slots)))
+                slots[self._start] = row
+                self._start = (self._start + 1) % capacity
+                self.dropped += 1
+            else:
+                index = self._count
+                slots = self._slots
+                if index >= len(slots):
+                    grow = _CHUNK if capacity is None else min(_CHUNK,
+                                                               capacity)
+                    slots.extend([None] * max(grow, 1))
+                slots[index] = row
+                self._count = index + 1
         self._version += 1
 
     def _rows(self) -> List[Tuple]:

@@ -212,6 +212,12 @@ class OdpCoordinator:
 
     # ------------------------------------------------------------------
 
+    def next_transition_at(self):
+        """Absolute time of the status engine's next scheduled state
+        transition, or None while it is idle (passthrough used by the
+        storm coalescer as a cheap steady-state pre-filter)."""
+        return self.rnic.status_engine.next_transition_at()
+
     def stale_entries(self) -> int:
         """Number of (QP, page) views currently stale (flood intensity)."""
         return len(self._stale)
@@ -224,9 +230,15 @@ class OdpCoordinator:
         """Retransmission pressure: outstanding READ window summed over
         stale QPs (feeds the status engine's congestion law)."""
         load = 0
+        qps = self.rnic._qps  # noqa: SLF001 - same device
         for qpn in self._stale_by_qpn:
-            qp = self.rnic._qps.get(qpn)  # noqa: SLF001 - same device
+            qp = qps.get(qpn)
             if qp is None:
                 continue
-            load += min(qp.requester.outstanding, qp.attrs.max_rd_atomic)
+            # len(requester.wqes) is the ``outstanding`` property,
+            # inlined: this runs once per status-engine service, over
+            # every stale QP, in deep floods.
+            pending = len(qp.requester.wqes)
+            cap = qp.attrs.max_rd_atomic
+            load += pending if pending < cap else cap
         return load

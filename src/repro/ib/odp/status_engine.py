@@ -58,6 +58,9 @@ class PageStatusEngine:
         #: view range-cache invalidation so memoised readiness verdicts
         #: can never outlive the engine state that produced them.
         self.transition_hook: Optional[Callable[[], None]] = None
+        #: Absolute time of the next scheduled state transition while
+        #: busy (see :meth:`next_transition_at`); None when idle.
+        self._next_complete_at: Optional[int] = None
 
     @property
     def backlog(self) -> int:
@@ -79,7 +82,20 @@ class PageStatusEngine:
             # before LIFO draining begins (this is what makes the
             # *first* operations finish *last*, Fig. 11a).
             self._busy = True
+            self._next_complete_at = self.sim.now
             self.sim.call_soon(self._serve_next)
+
+    def next_transition_at(self) -> Optional[int]:
+        """Absolute time of the engine's next state transition, or None
+        when no update is in flight.
+
+        While an update is in service this is its completion time; in
+        the one-event window between ``enqueue_resume`` and the deferred
+        first pop it is the (pessimistic) current time.  Storm coalescing
+        uses this as a cheap pre-filter: a transition inside a candidate
+        fast-forward span would end the steady state mid-round.
+        """
+        return self._next_complete_at if self._busy else None
 
     def service_cost_ns(self, load: int) -> int:
         """Congestion-dependent cost of the next update."""
@@ -91,11 +107,13 @@ class PageStatusEngine:
     def _serve_next(self) -> None:
         if not self._stack:
             self._busy = False
+            self._next_complete_at = None
             return
         self._busy = True
         item = self._stack.pop()  # LIFO: newest first
         load = max(len(self._stack) + 1, self.load_fn())
         cost = self.service_cost_ns(load)
+        self._next_complete_at = self.sim.now + cost
         self.sim.schedule(cost, self._complete, item)
 
     def _complete(self, item: ResumeItem) -> None:

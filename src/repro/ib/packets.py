@@ -52,6 +52,19 @@ def reset_packet_serials(start: int = 1) -> None:
     _packet_serial = itertools.count(start)
 
 
+def advance_packet_serials(count: int) -> None:
+    """Skip ``count`` serial numbers without building packets.
+
+    Storm coalescing synthesises whole retransmission rounds without
+    constructing :class:`Packet` objects; advancing the counter by the
+    round's packet count keeps the serials of every later *real* packet
+    identical to an uncoalesced run.
+    """
+    global _packet_serial
+    if count > 0:
+        _packet_serial = itertools.count(next(_packet_serial) + count - 1)
+
+
 class PayloadRef:
     """A lazy payload: ``(pattern, length)`` instead of real bytes.
 

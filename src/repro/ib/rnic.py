@@ -36,6 +36,7 @@ class Rnic:
         self.driver = driver
         self.network = network
         self.port: "NetworkPort" = network.attach(lid, self._on_wire_rx)
+        network.devices[lid] = self
         self.translation = NicTranslationTable()
         self.status_engine = PageStatusEngine(sim, profile)
         self.odp = OdpCoordinator(sim, self)
@@ -45,6 +46,13 @@ class Rnic:
         #: *sizes* are what the wire model consumes); integrity checks
         #: need real bytes, so tests leave this False.
         self.lazy_payloads = False
+        #: Steady-state storm coalescing: allow this device's QPs to
+        #: fast-forward provably-periodic retransmission rounds as
+        #: macro-events (both ends must allow it).  Exact by
+        #: construction — a round is synthesised only when every one of
+        #: its packets takes a known path and nothing can interleave —
+        #: so metrics are bit-identical either way.
+        self.coalesce = True
         self._qps: Dict[int, "QueuePair"] = {}
         self._next_qpn = 0x40
         self._mrs_by_rkey: Dict[int, "MemoryRegion"] = {}

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.ib.transport.coalesce import StormCoalescer
 from repro.ib.transport.requester import Requester
 from repro.ib.transport.responder import Responder
 from repro.ib.transport.psn import PSN_MASK
@@ -72,6 +73,7 @@ class QueuePair:
         self.remote_qpn: Optional[int] = None
         self.requester = Requester(self)
         self.responder = Responder(self)
+        self.coalescer = StormCoalescer(self)
 
     # ------------------------------------------------------------------
 

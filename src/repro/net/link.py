@@ -86,6 +86,21 @@ class LinkEnd:
         self.sim.at(arrival, self.deliver, packet)
         return arrival
 
+    def bulk_occupy(self, packets: int, nbytes: int, busy_until: int) -> None:
+        """Account for a batch of transmissions applied in closed form.
+
+        Storm coalescing computes the serialisation timeline of a whole
+        retransmission round arithmetically (using this end's own
+        :meth:`serialization_ns` values and running ``busy_until``) and
+        then books the aggregate here: counters advance by the batch and
+        the transmitter is occupied until the precomputed ``busy_until``
+        — exactly the state a packet-by-packet replay would leave.
+        """
+        self.tx_packets += packets
+        self.tx_bytes += nbytes
+        if busy_until > self._busy_until:
+            self._busy_until = busy_until
+
     @property
     def busy_until(self) -> int:
         """Timestamp until which the transmitter is occupied."""

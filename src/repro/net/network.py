@@ -14,7 +14,7 @@ LID.  It exposes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.net.link import Link
 from repro.net.switch import Switch
@@ -68,6 +68,16 @@ class Network:
         self._receivers: Dict[int, Callable[[Any], None]] = {}
         self._taps: List[Callable[[int, int, Any], None]] = []
         self._loss_rules: List[Callable[[Any], bool]] = []
+        #: attached RNICs by LID (registered by the device at attach
+        #: time); lets the storm coalescer reach the peer QP's state.
+        self.devices: Dict[int, Any] = {}
+        #: per-tap (lids, synthetic_sink); per-rule lids.  ``lids=None``
+        #: means "all traffic".  A tap with a synthetic sink can consume
+        #: coalesced rounds as bulk rows; one without forces the pairs it
+        #: watches back onto the real per-packet path (requires_real).
+        self._tap_meta: Dict[Callable, Tuple[Optional[frozenset],
+                                             Optional[Callable]]] = {}
+        self._loss_meta: Dict[Callable, Optional[frozenset]] = {}
         self.switch.on_drop = self._on_switch_drop
 
     # ------------------------------------------------------------------
@@ -96,21 +106,79 @@ class Network:
     # Observation and fault injection
     # ------------------------------------------------------------------
 
-    def add_tap(self, tap: Callable[[int, int, Any], None]) -> None:
-        """Register ``tap(time_ns, src_lid, packet)`` on every injection."""
+    def add_tap(self, tap: Callable[[int, int, Any], None],
+                lids: Optional[Iterable[int]] = None,
+                synthetic_sink: Optional[Callable[[list], None]] = None
+                ) -> None:
+        """Register ``tap(time_ns, src_lid, packet)`` on every injection.
+
+        ``lids`` scopes the tap's *interest* for coalescing decisions: a
+        tap that only observes those endpoints does not force unrelated
+        QP pairs onto the per-packet path.  (The tap callable itself is
+        still invoked for every injection and keeps doing its own LID
+        filtering — scoping here changes eligibility, not delivery.)
+        ``synthetic_sink(rows)``, when given, receives bulk-synthesised
+        capture rows for coalesced rounds, so a capture-capable tap can
+        coexist with coalescing without losing packets.
+        """
         self._taps.append(tap)
+        self._tap_meta[tap] = (
+            None if lids is None else frozenset(lids), synthetic_sink)
 
     def remove_tap(self, tap: Callable[[int, int, Any], None]) -> None:
         """Unregister a tap added with :meth:`add_tap`."""
         self._taps.remove(tap)
+        self._tap_meta.pop(tap, None)
 
-    def add_loss_rule(self, rule: Callable[[Any], bool]) -> None:
-        """Drop (at injection) every packet for which ``rule`` is true."""
+    def add_loss_rule(self, rule: Callable[[Any], bool],
+                      lids: Optional[Iterable[int]] = None) -> None:
+        """Drop (at injection) every packet for which ``rule`` is true.
+
+        ``lids`` scopes which endpoints the rule can affect; traffic
+        between a scoped pair must run per-packet (a coalesced round
+        would bypass the drop check), while unscoped pairs stay eligible
+        for coalescing.
+        """
         self._loss_rules.append(rule)
+        self._loss_meta[rule] = None if lids is None else frozenset(lids)
 
     def clear_loss_rules(self) -> None:
         """Remove all loss rules."""
         self._loss_rules.clear()
+        self._loss_meta.clear()
+
+    def requires_real(self, src_lid: int, dst_lid: int) -> bool:
+        """Must traffic between this LID pair run packet-by-packet?
+
+        True when any armed tap without a synthetic sink, or any loss
+        rule, is interested in either endpoint (``lids=None`` means
+        interested in everything).  This is the per-QP-pair knob the
+        coalescer consults: arming an observer disables fast-forwarding
+        only for the traffic it can actually observe or affect.
+        """
+        for tap in self._taps:
+            lids, sink = self._tap_meta.get(tap, (None, None))
+            if sink is not None:
+                continue
+            if lids is None or src_lid in lids or dst_lid in lids:
+                return True
+        for rule in self._loss_rules:
+            lids = self._loss_meta.get(rule)
+            if lids is None or src_lid in lids or dst_lid in lids:
+                return True
+        return False
+
+    def synthetic_sinks(self, src_lid: int, dst_lid: int
+                        ) -> List[Callable[[list], None]]:
+        """Bulk-row sinks interested in traffic between this LID pair."""
+        sinks = []
+        for tap in self._taps:
+            lids, sink = self._tap_meta.get(tap, (None, None))
+            if sink is None:
+                continue
+            if lids is None or src_lid in lids or dst_lid in lids:
+                sinks.append(sink)
+        return sinks
 
     # ------------------------------------------------------------------
     # Data path

@@ -105,6 +105,13 @@ class Simulator:
         self.rng = random.Random(seed)
         self.seed = seed
         self.trace_hooks: List[Callable[[int, Event], None]] = []
+        #: Macro-event accounting (storm coalescing): per-packet events
+        #: that were *not* executed because a steady-state round was
+        #: applied in closed form, and the simulated span they covered.
+        #: Kept separate from :attr:`events_fired` so ``run(max_events)``
+        #: and :meth:`pending_events` semantics are unchanged.
+        self.events_coalesced: int = 0
+        self.coalesced_ns: int = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -308,6 +315,65 @@ class Simulator:
         scan — it sits on progress paths like the micro-benchmark's.
         """
         return self._pending
+
+    # ------------------------------------------------------------------
+    # Macro-events (storm coalescing)
+    # ------------------------------------------------------------------
+
+    def quiet_until(self, limit: int) -> bool:
+        """True iff no live event (heap or wheel) fires at or before
+        ``limit``.
+
+        This is the global eligibility gate for applying a steady-state
+        storm round as a single macro-event: any pending completion,
+        timer, packet hop, or posting step that could interleave with the
+        round is a live event inside the window, so a quiet window
+        guarantees the closed-form synthesis replays exactly what the
+        per-event cascade would have done.  Cancelled heap heads are
+        popped in passing (same bookkeeping as the run loop).
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            time, _seq, event = queue[0]
+            if event.cancelled:
+                pop(queue)
+                self._cancelled -= 1
+                continue
+            if time <= limit:
+                return False
+            break
+        wheel = self._wheel
+        if wheel._live and wheel._next <= limit:
+            # The cached bound is conservative (never above the true
+            # earliest slot start); resolve it with an exact probe.
+            return wheel.earliest_until(limit) is None
+        return True
+
+    def live_events_until(self, limit: int) -> List[Event]:
+        """Every live event (heap or wheel) firing at or before ``limit``.
+
+        The storm coalescer's refined eligibility gate: a round whose
+        span is not fully quiet may still be synthesised exactly when
+        every event inside the span is provably non-interacting (e.g.
+        another stale QP's blind tick landing after the round's last
+        shared-resource touch).  The caller inspects each event's
+        callback and timestamp to decide.  Unordered; cancelled entries
+        are skipped (heap entries are left in place — this is a read-only
+        probe).
+        """
+        events = [event for time, _seq, event in self._queue
+                  if time <= limit and not event.cancelled]
+        wheel = self._wheel
+        if wheel._live and wheel._next <= limit:
+            events.extend(wheel.events_until(limit))
+        return events
+
+    def note_coalesced(self, events: int, span_ns: int) -> None:
+        """Record that a macro-event stood in for ``events`` per-packet
+        events spanning ``span_ns`` of simulated time."""
+        self.events_coalesced += events
+        self.coalesced_ns += span_ns
 
     # ------------------------------------------------------------------
     # Randomness helpers

@@ -140,6 +140,68 @@ class TimerWheel:
         best = self._earliest()
         return None if best is None else best[0]
 
+    def earliest_until(self, limit: int) -> Optional[int]:
+        """Exact earliest live expiry at or before ``limit``, or None.
+
+        :meth:`next_deadline` only bounds expiries by slot *start* (a
+        level-0 slot is ~65 us wide), which is far too coarse to gate
+        storm coalescing windows of comparable size.  This probe visits
+        only the slots whose key range could hold a timer expiring at or
+        before ``limit`` and compares actual expiries.  Read-only: no
+        promotion, no cache refresh, no slot mutation.
+        """
+        if not self._live:
+            return None
+        now = self.sim.now
+        best: Optional[int] = None
+        for level, shift in enumerate(LEVEL_SHIFTS):
+            slots = self._slots[level]
+            if not slots:
+                continue
+            # Every live timer expires after ``now`` (earlier ones were
+            # promoted before the engine advanced the clock), so keys
+            # below ``now >> shift`` cannot occur.
+            lo = now >> shift
+            hi = limit >> shift
+            if hi - lo + 1 >= len(slots):
+                keys = [key for key in slots if key <= hi]
+            else:
+                keys = [key for key in range(lo, hi + 1) if key in slots]
+            for key in keys:
+                for event in slots[key]:
+                    if event.cancelled or event.time > limit:
+                        continue
+                    if best is None or event.time < best:
+                        best = event.time
+        return best
+
+    def events_until(self, limit: int) -> List["Event"]:
+        """Every live timer expiring at or before ``limit``, unordered.
+
+        Same read-only slot walk as :meth:`earliest_until`, collecting
+        the events instead of the minimum — the storm coalescer inspects
+        them to decide whether a non-quiet span is still synthesisable.
+        """
+        found: List["Event"] = []
+        if not self._live:
+            return found
+        now = self.sim.now
+        for level, shift in enumerate(LEVEL_SHIFTS):
+            slots = self._slots[level]
+            if not slots:
+                continue
+            lo = now >> shift
+            hi = limit >> shift
+            if hi - lo + 1 >= len(slots):
+                keys = [key for key in slots if key <= hi]
+            else:
+                keys = [key for key in range(lo, hi + 1) if key in slots]
+            for key in keys:
+                for event in slots[key]:
+                    if not event.cancelled and event.time <= limit:
+                        found.append(event)
+        return found
+
     def promote_until(self, limit: int,
                       push: Callable[[Tuple[int, int, "Event"]], None]
                       ) -> None:

