@@ -1,0 +1,218 @@
+"""Recovery micro-benchmark: downtime under injected faults.
+
+The scenario the ROADMAP's production north star asks about: what does
+an application actually experience after ``IBV_WC_RETRY_EXC_ERR``?  A
+client/server QP pair runs healthy traffic, a chaos link flap partitions
+the server, sustained loss exhausts the transport retries, and the
+application recovers through :meth:`repro.host.cluster.Cluster.reconnect`
+(CQ flush-draining, ``ERROR -> RESET -> INIT -> RTR -> RTS``, exponential
+backoff while the link is still down) before completing fresh work.
+
+Measured: time to error detection, reconnect downtime (including the
+backoff probes), and end-to-end downtime from the error CQE to the first
+fresh completion.  The run is fully deterministic per seed and is
+validated by an attached :class:`~repro.ib.validate.InvariantMonitor`.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.recovery --seed 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.chaos import ChaosEngine, ChaosPlan, FaultKind, FaultWindow
+from repro.host.cluster import Cluster, ReconnectResult
+from repro.ib.device import DeviceProfile
+from repro.ib.validate import InvariantMonitor
+from repro.ib.verbs.enums import Access, WcStatus
+from repro.ib.verbs.qp import QpAttrs, connect_pair
+from repro.ib.verbs.wr import RemoteAddr, Sge, WorkRequest
+from repro.sim.timebase import MS, US
+
+
+@dataclass
+class RecoveryConfig:
+    """Parameters of one recovery scenario."""
+
+    seed: int = 0
+    device: str = "ConnectX-4"
+    #: overrides ``device`` when given (tests use a fast-timeout model).
+    profile: Optional[DeviceProfile] = None
+    size: int = 256
+    ops_before: int = 4
+    #: READs in flight when the link goes down (head gets the error
+    #: CQE; the rest flush).
+    inflight_at_failure: int = 4
+    ops_after: int = 4
+    cack: int = 14
+    retry_count: int = 1
+    flap_start_ns: int = 1 * MS
+    #: long enough to outlive retry exhaustion (~2 detection timeouts at
+    #: the ConnectX-4 floor), so reconnect has to back off.
+    flap_len_ns: int = 2_500 * MS
+    base_backoff_ns: int = 10 * MS
+    max_attempts: int = 12
+
+
+@dataclass
+class RecoveryResult:
+    """Timeline of one recovery scenario (all times in simulated ns)."""
+
+    config: RecoveryConfig
+    #: status of the head CQE that signalled the failure.
+    error_status: str
+    #: from the flap opening to the error CQE (retry exhaustion).
+    detect_ns: int
+    #: reconnect start -> both QPs back in RTS (includes backoff).
+    reconnect_ns: int
+    #: reachability probes the backoff loop performed.
+    attempts: int
+    #: stale CQEs drained by reconnect, and their statuses.
+    flushed_cqes: int
+    flushed_statuses: List[str] = field(default_factory=list)
+    #: error CQE -> first fresh completion after recovery.
+    downtime_ns: int = 0
+    ops_completed_after: int = 0
+    invariant_violations: int = 0
+
+    def render(self) -> str:
+        lines = [
+            "Recovery scenario "
+            f"(seed {self.config.seed}, retry_count "
+            f"{self.config.retry_count})",
+            f"  error CQE           : {self.error_status}",
+            f"  detection           : {self.detect_ns / 1e6:10.3f} ms "
+            f"after link down",
+            f"  reconnect           : {self.reconnect_ns / 1e6:10.3f} ms "
+            f"({self.attempts} probes)",
+            f"  flushed stale CQEs  : {self.flushed_cqes}",
+            f"  end-to-end downtime : {self.downtime_ns / 1e6:10.3f} ms",
+            f"  fresh ops completed : {self.ops_completed_after}",
+            f"  invariant violations: {self.invariant_violations}",
+        ]
+        return "\n".join(lines)
+
+
+def run_recovery(config: RecoveryConfig) -> RecoveryResult:
+    """Execute one deterministic recovery scenario."""
+    cluster = Cluster(device=config.device, nodes=2, seed=config.seed,
+                      profile=config.profile)
+    sim = cluster.sim
+    monitor = InvariantMonitor(cluster)
+    client_node, server_node = cluster.nodes
+
+    sides = []
+    for node in (client_node, server_node):
+        ctx = node.open_device()
+        pd = ctx.alloc_pd()
+        cq = ctx.create_cq()
+        buf = node.mmap(64 * 1024, populate=True)
+        mr = pd.reg_mr(buf, access=Access.all())
+        qp = pd.create_qp(send_cq=cq)
+        sides.append((node, cq, buf, mr, qp))
+    (_, client_cq, client_buf, client_mr, client_qp) = sides[0]
+    (_, _server_cq, server_buf, server_mr, server_qp) = sides[1]
+    attrs = QpAttrs(cack=config.cack, retry_count=config.retry_count)
+    connect_pair(client_qp, server_qp, attrs)
+    sim.run_until_idle()  # flush registration costs
+
+    plan = ChaosPlan([FaultWindow(
+        config.flap_start_ns, config.flap_start_ns + config.flap_len_ns,
+        FaultKind.LINK_FLAP, lids=(server_node.lid,))])
+    ChaosEngine(cluster, plan, seed=config.seed).install()
+
+    def read_wr(wr_id: int) -> WorkRequest:
+        return WorkRequest.read(
+            wr_id=wr_id,
+            local=Sge(client_mr, client_buf.addr(0), config.size),
+            remote=RemoteAddr(server_buf.addr(0), server_mr.rkey))
+
+    timeline = {}
+
+    def app():
+        for i in range(config.ops_before):
+            client_qp.post_send(read_wr(i))
+            (wc,) = yield client_cq.wait(1)
+            assert wc.ok, f"healthy phase failed: {wc.status}"
+        # Step into the flap window and post the doomed batch.
+        if sim.now < config.flap_start_ns:
+            yield config.flap_start_ns - sim.now + 10 * US
+        timeline["flap_entered"] = sim.now
+        for i in range(config.inflight_at_failure):
+            client_qp.post_send(read_wr(100 + i))
+        # Only the head (error) CQE is consumed here; the flushed rest
+        # stay queued for reconnect's drain.
+        (error_wc,) = yield client_cq.wait(1)
+        timeline["error_at"] = sim.now
+        timeline["error_status"] = error_wc.status.value
+        reconnect = cluster.reconnect(
+            client_qp, server_qp, attrs,
+            base_backoff_ns=config.base_backoff_ns,
+            max_attempts=config.max_attempts)
+        recon: ReconnectResult = yield reconnect
+        timeline["reconnected_at"] = sim.now
+        timeline["reconnect"] = recon
+        completed = 0
+        for i in range(config.ops_after):
+            client_qp.post_send(read_wr(200 + i))
+            (wc,) = yield client_cq.wait(1)
+            assert wc.ok, f"post-recovery op failed: {wc.status}"
+            if completed == 0:
+                timeline["first_success_at"] = sim.now
+            completed += 1
+        timeline["ops_after"] = completed
+
+    proc = client_node.spawn(app(), name="recovery-app")
+    sim.run_until_idle()
+    if not proc.done:
+        raise RuntimeError("recovery scenario did not complete")
+    proc.result  # surface any in-process assertion
+
+    recon: ReconnectResult = timeline["reconnect"]
+    return RecoveryResult(
+        config=config,
+        error_status=timeline["error_status"],
+        detect_ns=timeline["error_at"] - timeline["flap_entered"],
+        reconnect_ns=recon.downtime_ns,
+        attempts=recon.attempts,
+        flushed_cqes=len(recon.flushed),
+        flushed_statuses=[wc.status.value for wc in recon.flushed],
+        downtime_ns=timeline["first_success_at"] - timeline["error_at"],
+        ops_completed_after=timeline["ops_after"],
+        invariant_violations=len(monitor.violations),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the result as JSON")
+    args = parser.parse_args(argv)
+    result = run_recovery(RecoveryConfig(seed=args.seed))
+    if args.json:
+        payload = {
+            "seed": result.config.seed,
+            "error_status": result.error_status,
+            "detect_ns": result.detect_ns,
+            "reconnect_ns": result.reconnect_ns,
+            "attempts": result.attempts,
+            "flushed_cqes": result.flushed_cqes,
+            "downtime_ns": result.downtime_ns,
+            "ops_completed_after": result.ops_completed_after,
+            "invariant_violations": result.invariant_violations,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.render())
+    return 1 if result.invariant_violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

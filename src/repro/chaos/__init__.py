@@ -1,0 +1,8 @@
+"""Deterministic chaos injection (fault plans, engine, smoke gates)."""
+
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.plan import (ChaosPlan, FaultKind, FaultWindow,
+                              flap_and_loss_plan)
+
+__all__ = ["ChaosEngine", "ChaosPlan", "FaultKind", "FaultWindow",
+           "flap_and_loss_plan"]

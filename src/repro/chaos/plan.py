@@ -1,0 +1,168 @@
+"""Seeded, time-scheduled fault plans.
+
+A :class:`ChaosPlan` is a declarative list of :class:`FaultWindow`
+entries: each window names a fault kind, an absolute ``[start, end)``
+interval on the simulated clock, an optional LID scope, and the kind's
+parameters.  Plans carry *no* randomness of their own — probabilistic
+windows draw from the :class:`~repro.chaos.engine.ChaosEngine`'s private
+RNG, so a ``(plan, seed)`` pair fully determines every fault a run
+experiences (the reproducibility contract the chaos tests enforce).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.sim.timebase import MS, US
+
+
+class FaultKind(enum.Enum):
+    """The fault taxonomy (one mechanism per member)."""
+
+    #: Link down/up: both directions of the scoped LIDs' links go down;
+    #: packets already on the wire drain (lost mid-link).
+    LINK_FLAP = "link_flap"
+    #: Injection-time drop, deterministic (``probability=1``) or
+    #: probabilistic.
+    DROP = "drop"
+    #: Hold a packet back for a bounded random delay (1..magnitude_ns),
+    #: letting later traffic overtake it.
+    REORDER = "reorder"
+    #: Transmit the packet twice back to back.
+    DUPLICATE = "duplicate"
+    #: Flip payload/header bits: the receiving port's ICRC check
+    #: silently discards the packet.
+    CORRUPT = "corrupt"
+    #: Add ``magnitude_ns`` of one-way delay on the scoped uplinks.
+    LATENCY = "latency"
+    #: Remove the scoped LIDs from the switch forwarding table
+    #: (subnet-manager churn): traffic to them drops as unknown_lid.
+    LID_CHURN = "lid_churn"
+    #: Freeze the scoped RNICs' receive pipelines (firmware/responder
+    #: pause); inbound packets buffer and replay at window close.
+    FIRMWARE_PAUSE = "firmware_pause"
+    #: Periodically evict resident unpinned pages from the scoped
+    #: nodes' address spaces, driving the ODP invalidation flow.
+    EVICTION_STORM = "eviction_storm"
+
+
+#: Kinds evaluated per injected packet; the rest act on fabric/device
+#: state at window open/close (plus eviction ticks).
+PACKET_KINDS = frozenset({
+    FaultKind.DROP, FaultKind.REORDER,
+    FaultKind.DUPLICATE, FaultKind.CORRUPT,
+})
+
+#: Kinds that require an explicit LID scope: applying them to "every
+#: attached LID" would deadlock the whole fabric rather than degrade it.
+_SCOPED_KINDS = frozenset({
+    FaultKind.LID_CHURN, FaultKind.FIRMWARE_PAUSE, FaultKind.EVICTION_STORM,
+})
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One fault, active on ``[start, end)`` of the simulated clock.
+
+    ``lids=None`` scopes packet faults to all traffic and is rejected
+    for the kinds in ``_SCOPED_KINDS``.  ``probability`` gates packet
+    faults per packet; deterministic windows (``probability=1``) make
+    no RNG draws at all.
+    """
+
+    start: int
+    end: int
+    kind: FaultKind
+    lids: Optional[Tuple[int, ...]] = None
+    probability: float = 1.0
+    #: LATENCY: added one-way delay; REORDER: maximum hold-back.
+    magnitude_ns: int = 0
+    #: EVICTION_STORM: pages evicted per tick / tick period.
+    pages: int = 1
+    period_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"window [{self.start}, {self.end}) is empty")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if self.kind in (FaultKind.REORDER, FaultKind.LATENCY) \
+                and self.magnitude_ns <= 0:
+            raise ValueError(f"{self.kind.value} needs magnitude_ns > 0")
+        if self.kind in _SCOPED_KINDS and not self.lids:
+            raise ValueError(f"{self.kind.value} needs an explicit LID scope")
+        if self.kind is FaultKind.EVICTION_STORM:
+            if self.period_ns <= 0:
+                raise ValueError("eviction_storm needs period_ns > 0")
+            if self.pages < 1:
+                raise ValueError("eviction_storm needs pages >= 1")
+
+    def covers(self, lid: int) -> bool:
+        """Is ``lid`` inside this window's scope?"""
+        return self.lids is None or lid in self.lids
+
+    def affects_pair(self, src_lid: int, dst_lid: int) -> bool:
+        """Can traffic between the pair be touched by this window?"""
+        return (self.lids is None
+                or src_lid in self.lids or dst_lid in self.lids)
+
+    def describe(self) -> str:
+        scope = "all" if self.lids is None else ",".join(map(str, self.lids))
+        extra = ""
+        if self.probability != 1.0:
+            extra += f" p={self.probability}"
+        if self.magnitude_ns:
+            extra += f" mag={self.magnitude_ns}ns"
+        if self.kind is FaultKind.EVICTION_STORM:
+            extra += f" pages={self.pages}/{self.period_ns}ns"
+        return (f"{self.kind.value}[{self.start}..{self.end})"
+                f" lids={scope}{extra}")
+
+
+class ChaosPlan:
+    """An ordered collection of fault windows.
+
+    Windows are kept sorted by start time (stable, so same-start windows
+    apply in the order given); activation order is what the engine uses
+    when several packet faults overlap.
+    """
+
+    def __init__(self, windows: Iterable[FaultWindow]):
+        self.windows: List[FaultWindow] = sorted(windows,
+                                                 key=lambda w: w.start)
+        if not self.windows:
+            raise ValueError("a chaos plan needs at least one window")
+
+    @property
+    def horizon(self) -> int:
+        """Close time of the last window."""
+        return max(w.end for w in self.windows)
+
+    def describe(self) -> str:
+        return "\n".join(w.describe() for w in self.windows)
+
+    def __iter__(self):
+        return iter(self.windows)
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+
+def flap_and_loss_plan(loss_start: int = 0,
+                       loss_len: int = 2 * MS,
+                       loss_probability: float = 0.4,
+                       flap_start: Optional[int] = None,
+                       flap_len: int = 1 * MS,
+                       lids: Optional[Tuple[int, ...]] = None) -> ChaosPlan:
+    """The canonical smoke-test plan: a probabilistic loss window
+    followed by a link flap (ISSUE's "flap+loss plan")."""
+    if flap_start is None:
+        flap_start = loss_start + loss_len + 500 * US
+    return ChaosPlan([
+        FaultWindow(loss_start, loss_start + loss_len, FaultKind.DROP,
+                    lids=lids, probability=loss_probability),
+        FaultWindow(flap_start, flap_start + flap_len, FaultKind.LINK_FLAP,
+                    lids=lids),
+    ])

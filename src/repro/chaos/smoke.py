@@ -1,0 +1,145 @@
+"""Chaos smoke gates: the CI-facing self-validation run.
+
+``python -m repro chaos --seed N`` executes three deterministic
+scenarios and fails loudly (non-zero exit) if any gate breaks:
+
+1. **fig02 shape** — a single-QP pinned READ probe under a full-loss
+   window: the transport must detect the loss by timeout, retransmit
+   after the window closes, and complete; the invariant monitor must
+   stay clean.
+2. **fig04 shape** — the ODP damming microbench under a flap+loss plan
+   (probabilistic drop, then a link flap): RNR/timeout recovery under
+   compound faults, monitor clean.
+3. **coalescer composition** — a client-flood shape with a mid-run drop
+   window: metrics must be bit-identical between coalesce on/off, the
+   chaos fault log must be identical too (the engine's RNG draws are
+   independent of the coalescer), and the coalescer must still
+   fast-forward rounds outside the window.
+
+Every scenario runs twice and must reproduce bit-identically from
+``(plan, seed)`` — metrics, chaos fingerprints, and drop logs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.plan import ChaosPlan, FaultKind, FaultWindow, flap_and_loss_plan
+from repro.bench.microbench import MicrobenchConfig, MicrobenchResult, OdpSetup, run_microbench
+from repro.ib.validate import InvariantMonitor
+from repro.sim.timebase import MS, US
+
+
+class ChaosSmokeError(AssertionError):
+    """A chaos smoke gate failed."""
+
+
+def _metrics(result: MicrobenchResult) -> Dict:
+    """The bit-identity surface: everything except config and the
+    coalescer's own effort counters (how much work was skipped is
+    allowed to differ; what the run *did* is not)."""
+    data = dataclasses.asdict(result)
+    data.pop("config", None)
+    data.pop("coalesced_rounds", None)
+    data.pop("events_coalesced", None)
+    return data
+
+
+def _run_instrumented(config: MicrobenchConfig, plan: ChaosPlan,
+                      chaos_seed: int):
+    """One microbench run with chaos + monitor attached at build time."""
+    attached = {}
+
+    def hook(cluster):
+        attached["chaos"] = ChaosEngine(cluster, plan, seed=chaos_seed).install()
+        attached["monitor"] = InvariantMonitor(cluster)
+
+    result = run_microbench(config, on_cluster=hook)
+    return result, attached["chaos"], attached["monitor"]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ChaosSmokeError(message)
+
+
+def _gate_reproducible(name: str, config: MicrobenchConfig,
+                       plan: ChaosPlan, seed: int, lines: List[str]):
+    """Run twice; everything observable must match bit-identically."""
+    first, chaos_a, monitor_a = _run_instrumented(config, plan, seed)
+    second, chaos_b, monitor_b = _run_instrumented(config, plan, seed)
+    _require(_metrics(first) == _metrics(second),
+             f"{name}: metrics differ between identical (plan, seed) runs")
+    _require(chaos_a.fingerprint() == chaos_b.fingerprint(),
+             f"{name}: chaos fault logs differ between identical runs")
+    _require(chaos_a.drop_log() == chaos_b.drop_log(),
+             f"{name}: fabric drop logs differ between identical runs")
+    monitor_a.assert_clean()
+    lines.append(
+        f"  {name}: reproducible; {monitor_a.report()['packets_checked']} "
+        f"packets checked, faults={dict(sorted(chaos_a.stats.items()))}")
+    return first, chaos_a, monitor_a
+
+
+def run_chaos_smoke(seed: int = 0, fast: bool = False) -> str:
+    """Execute all gates; returns a report, raises on any failure."""
+    lines = [f"chaos smoke (seed {seed}, fast={fast})"]
+
+    # Gate 1: fig02 shape — timeout detection under a total-loss window.
+    fig02_cfg = MicrobenchConfig(
+        size=64, num_ops=4, num_qps=1, odp=OdpSetup.NONE,
+        cack=1, retry_count=7, seed=seed)
+    fig02_plan = ChaosPlan([
+        FaultWindow(0, 2 * MS, FaultKind.DROP, probability=1.0)])
+    result, _, _ = _gate_reproducible("fig02-shape", fig02_cfg, fig02_plan,
+                                      seed, lines)
+    _require(result.errors == 0,
+             "fig02-shape: ops failed despite retry budget")
+    _require(result.timeouts >= 1,
+             "fig02-shape: the loss window drew no transport timeout")
+
+    # Gate 2: fig04 shape — ODP damming under flap + probabilistic loss.
+    fig04_cfg = MicrobenchConfig(
+        size=100, num_ops=3, num_qps=1, odp=OdpSetup.BOTH,
+        cack=1, retry_count=7, seed=seed)
+    fig04_plan = flap_and_loss_plan(
+        loss_start=0, loss_len=800 * US, loss_probability=0.3,
+        flap_start=1_500 * US, flap_len=1 * MS)
+    _gate_reproducible("fig04-shape", fig04_cfg, fig04_plan, seed, lines)
+
+    # Gate 3: coalescer composition — flood shape, drop window mid-run.
+    qps, ops = (8, 64) if fast else (16, 128)
+    flood_plan = ChaosPlan([
+        FaultWindow(3 * MS, 8 * MS, FaultKind.DROP, probability=0.5)])
+
+    def flood_cfg(coalesce: bool) -> MicrobenchConfig:
+        return MicrobenchConfig(
+            size=400, num_ops=ops, num_qps=qps, odp=OdpSetup.CLIENT,
+            cack=14, retry_count=7, seed=seed + 50, integrity=False,
+            fill_server_data=False, coalesce=coalesce)
+
+    off, chaos_off, monitor_off = _run_instrumented(
+        flood_cfg(False), flood_plan, seed)
+    on, chaos_on, monitor_on = _run_instrumented(
+        flood_cfg(True), flood_plan, seed)
+    _require(_metrics(off) == _metrics(on),
+             "flood-shape: coalesce on/off metrics diverge under chaos")
+    _require(chaos_off.fingerprint() == chaos_on.fingerprint(),
+             "flood-shape: chaos fault log depends on the coalescer")
+    _require(chaos_off.drop_log() == chaos_on.drop_log(),
+             "flood-shape: drop log depends on the coalescer")
+    _require(on.coalesced_rounds > 0,
+             "flood-shape: coalescing never resumed outside the window")
+    _require(chaos_on.stats.get("drop", 0) > 0,
+             "flood-shape: the drop window never fired")
+    monitor_off.assert_clean()
+    monitor_on.assert_clean()
+    lines.append(
+        f"  flood-shape: coalesce on == off under chaos "
+        f"({on.coalesced_rounds} rounds coalesced, "
+        f"{chaos_on.stats.get('drop', 0)} chaos drops)")
+
+    lines.append("all chaos smoke gates passed")
+    return "\n".join(lines)

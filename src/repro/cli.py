@@ -102,6 +102,23 @@ def _tables(fast: bool, seed: int, jobs=None) -> str:
     return render_table1() + "\n\n" + render_table2()
 
 
+def _chaos(fast: bool, seed: int, jobs=None) -> str:
+    # Raises ChaosSmokeError / InvariantError on any gate failure, which
+    # main() lets propagate -> non-zero exit for CI.
+    from repro.chaos.smoke import run_chaos_smoke
+    return run_chaos_smoke(seed=seed, fast=fast)
+
+
+def _recovery(fast: bool, seed: int, jobs=None) -> str:
+    from repro.bench.recovery import RecoveryConfig, run_recovery
+    result = run_recovery(RecoveryConfig(seed=seed))
+    if result.invariant_violations:
+        raise AssertionError(
+            f"recovery scenario recorded {result.invariant_violations} "
+            "invariant violation(s)")
+    return result.render()
+
+
 EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "tables": _tables,
     "fig01": _fig01,
@@ -116,6 +133,8 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "fig11": _fig11,
     "fig12": _fig12,
     "tab13": _tab13,
+    "chaos": _chaos,
+    "recovery": _recovery,
 }
 
 

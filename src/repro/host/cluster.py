@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Dict, List, Optional, Tuple
 
 from repro.host.node import Node
 from repro.ib.device import DeviceProfile, get_device, get_system
 from repro.ib.packets import reset_packet_serials
+from repro.ib.verbs.qp import QpAttrs, QueuePair
+from repro.ib.verbs.wr import WorkCompletion
 from repro.net.network import Network
 from repro.sim.engine import Simulator
+from repro.sim.process import Process
 
 
 @dataclass(frozen=True)
@@ -38,8 +41,32 @@ HOST_TO_SYSTEM: Dict[str, str] = {
 }
 
 
+@dataclass
+class ReconnectResult:
+    """Outcome of one :meth:`Cluster.reconnect` run."""
+
+    #: reachability probes performed (1 = fabric healthy on first try).
+    attempts: int
+    #: simulated time from reconnect start to both QPs back in RTS.
+    downtime_ns: int
+    #: stale CQEs drained from the pair's CQs before the reset.
+    flushed: List[WorkCompletion] = field(default_factory=list)
+
+
+class ReconnectError(RuntimeError):
+    """The fabric never became reachable within ``max_attempts``."""
+
+
 class Cluster:
     """A switch-connected set of nodes sharing one device model."""
+
+    #: Optional process-wide hook called with every freshly built
+    #: cluster (before any traffic) — how chaos smoke gates and the
+    #: invariant-monitor tests instrument experiment entry points they
+    #: do not construct themselves.  Worker subprocesses of parallel
+    #: sweeps do not inherit it, so instrumented runs should force
+    #: serial execution (``REPRO_SERIAL=1``).
+    instrument: ClassVar[Optional[Callable[["Cluster"], None]]] = None
 
     def __init__(self, sim: Optional[Simulator] = None,
                  device: str = "ConnectX-4", nodes: int = 2,
@@ -55,6 +82,8 @@ class Cluster:
         self.nodes: List[Node] = []
         for index in range(nodes):
             self.add_node(f"node{index}")
+        if Cluster.instrument is not None:
+            Cluster.instrument(self)
 
     @classmethod
     def for_system(cls, system_name: str, nodes: int = 2,
@@ -78,6 +107,75 @@ class Cluster:
     def total_packets(self) -> int:
         """Packets injected into the fabric so far."""
         return self.network.total_packets()
+
+    # ------------------------------------------------------------------
+    # Failure recovery
+    # ------------------------------------------------------------------
+
+    def reconnect(self, qp_a: QueuePair, qp_b: QueuePair,
+                  attrs: Optional[QpAttrs] = None,
+                  base_backoff_ns: int = 1_000_000,
+                  backoff_factor: int = 2,
+                  max_attempts: int = 12) -> Process:
+        """Recover a broken QP pair: drain, reset, back off, reconnect.
+
+        Models what a resilient application does after
+        ``IBV_WC_RETRY_EXC_ERR``: drain the stale CQEs of the old
+        incarnation (returned in :class:`ReconnectResult.flushed`),
+        drive both QPs through ``RESET -> INIT``, wait for the fabric
+        to look healthy again (switch knows both LIDs and both links
+        are up) under exponential backoff, then exchange fresh
+        connection info and complete ``RTR -> RTS``.
+
+        Returns a running :class:`~repro.sim.process.Process` whose
+        result is a :class:`ReconnectResult`; raises
+        :class:`ReconnectError` inside the process when the fabric
+        stays unreachable for ``max_attempts`` probes.
+        """
+        sim = self.sim
+        network = self.network
+
+        def _run():
+            started = sim.now
+            flushed: List[WorkCompletion] = []
+            cqs: List = []
+            for cq in (qp_a.send_cq, qp_a.recv_cq,
+                       qp_b.send_cq, qp_b.recv_cq):
+                if cq not in cqs:
+                    cqs.append(cq)
+            for cq in cqs:
+                flushed.extend(cq.poll(max_entries=1 << 30))
+            for qp in (qp_a, qp_b):
+                qp.to_reset()
+                qp.to_init()
+            attempts = 0
+            backoff = base_backoff_ns
+            while True:
+                attempts += 1
+                lid_a, lid_b = qp_a.rnic.lid, qp_b.rnic.lid
+                reachable = (network.switch.knows(lid_a)
+                             and network.switch.knows(lid_b)
+                             and network.link_up(lid_a)
+                             and network.link_up(lid_b))
+                if reachable:
+                    break
+                if attempts >= max_attempts:
+                    raise ReconnectError(
+                        f"fabric unreachable after {attempts} probes "
+                        f"(QP{qp_a.qpn} <-> QP{qp_b.qpn})")
+                yield backoff
+                backoff *= backoff_factor
+            info_a, info_b = qp_a.info(), qp_b.info()
+            qp_a.to_rtr(info_b, attrs)
+            qp_b.to_rtr(info_a, attrs)
+            qp_a.to_rts()
+            qp_b.to_rts()
+            return ReconnectResult(attempts=attempts,
+                                   downtime_ns=sim.now - started,
+                                   flushed=flushed)
+
+        return Process(sim, _run(),
+                       name=f"reconnect:qp{qp_a.qpn}-qp{qp_b.qpn}")
 
 
 def build_pair(device: str = "ConnectX-4", seed: int = 0,

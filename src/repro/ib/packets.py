@@ -173,7 +173,7 @@ class Packet:
     __slots__ = ("src_lid", "dst_lid", "src_qpn", "dst_qpn", "opcode",
                  "psn", "ack_req", "payload", "reth", "aeth",
                  "retransmission", "serial", "payload_size", "wire_size",
-                 "is_request", "is_read_response", "is_ack")
+                 "is_request", "is_read_response", "is_ack", "corrupted")
 
     def __init__(self, src_lid: int, dst_lid: int, src_qpn: int,
                  dst_qpn: int, opcode: Opcode, psn: int,
@@ -198,6 +198,10 @@ class Packet:
         #: reuse).
         self.retransmission = retransmission
         self.serial = serial if serial is not None else next(_packet_serial)
+        #: Set by chaos corruption faults; the receiving port's ICRC
+        #: check silently discards marked packets (wire footprint is
+        #: unchanged — corruption flips bits, not lengths).
+        self.corrupted = False
         is_req, is_rresp, is_ack, atomic_bytes = _OPCODE_TRAITS[opcode]
         self.is_request = is_req
         self.is_read_response = is_rresp

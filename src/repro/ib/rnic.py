@@ -9,7 +9,7 @@ NIC's own timer bookkeeping — modelled by :meth:`load_stretch`.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import TYPE_CHECKING, Deque, Dict, Optional, Set
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Set
 
 from repro.ib.device import DeviceProfile
 from repro.ib.odp.coordinator import OdpCoordinator
@@ -65,6 +65,18 @@ class Rnic:
         self._tx_busy = False
         self._active_qps: Set[int] = set()
         self.stats: Dict[str, int] = defaultdict(int)
+        #: observers called with every freshly constructed RC QP / CQ
+        #: (the invariant monitor instruments transition/post/push hooks
+        #: through these).  Guarded: empty lists cost nothing.
+        self.qp_watchers: List[Callable[[Any], None]] = []
+        self.cq_watchers: List[Callable[[Any], None]] = []
+        #: CQs created on this device (registry for late-attaching
+        #: observers), appended by :meth:`note_cq_created`.
+        self.cqs: List[Any] = []
+        # Firmware pause (chaos): while paused, inbound packets buffer
+        # instead of dispatching; resume replays the backlog in order.
+        self._rx_paused = False
+        self._rx_backlog: List[Packet] = []
 
     # ------------------------------------------------------------------
     # Tables
@@ -154,6 +166,9 @@ class Rnic:
 
     def _on_wire_rx(self, packet: Packet) -> None:
         self.stats["rx_packets"] += 1
+        if self._rx_paused:
+            self._rx_backlog.append(packet)
+            return
         self.sim.schedule(self.profile.rx_proc_ns, self._dispatch, packet)
 
     def _dispatch(self, packet: Packet) -> None:
@@ -162,6 +177,34 @@ class Rnic:
             self.stats["rx_unknown_qp"] += 1
             return
         qp.handle_packet(packet)
+
+    def pause_rx(self) -> None:
+        """Freeze the receive pipeline (chaos firmware-pause fault)."""
+        self._rx_paused = True
+
+    def resume_rx(self) -> None:
+        """Thaw the receive pipeline, replaying the backlog in order."""
+        self._rx_paused = False
+        backlog, self._rx_backlog = self._rx_backlog, []
+        for packet in backlog:
+            self.sim.schedule(self.profile.rx_proc_ns, self._dispatch, packet)
+
+    # ------------------------------------------------------------------
+    # Object-creation observers (invariant monitor wiring)
+    # ------------------------------------------------------------------
+
+    def note_qp_created(self, qp: "QueuePair") -> None:
+        """Called by RC QPs once fully constructed."""
+        if self.qp_watchers:
+            for watcher in list(self.qp_watchers):
+                watcher(qp)
+
+    def note_cq_created(self, cq: Any) -> None:
+        """Called by the verbs context for every new CQ."""
+        self.cqs.append(cq)
+        if self.cq_watchers:
+            for watcher in list(self.cq_watchers):
+                watcher(cq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Rnic {self.profile.model} lid={self.lid}>"

@@ -1114,6 +1114,11 @@ class StormCoalescer:
             return False
         network, peer_rnic, peer_qp = peer
         qp = self.qp
+        if qp.attrs.rnr_retry != 7:
+            # A finite RNR budget counts every NAK of the cycle and can
+            # abort mid-round; the closed form models the retry-forever
+            # steady state only.
+            return self._decline("finite_rnr_retry")
         rnic = qp.rnic
         req = qp.requester
         emit = self._retransmit_set()

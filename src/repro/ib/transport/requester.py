@@ -83,6 +83,7 @@ class Requester:
         self.next_psn = qp.initial_psn
         self.state = STATE_NORMAL
         self.retry_used = 0
+        self.rnr_retries_used = 0
         self._timer = None
         self._rnr_timer = None
         self._blind_timer = None
@@ -424,6 +425,12 @@ class Requester:
         self.rnr_naks_received += 1
         if self.state == STATE_RNR_WAIT:
             return  # already waiting
+        rnr_retry = self.qp.attrs.rnr_retry
+        if rnr_retry != 7:  # 7 = retry forever (IB spec 9.7.5.2.8)
+            self.rnr_retries_used += 1
+            if self.rnr_retries_used > rnr_retry:
+                self._fatal(WcStatus.RNR_RETRY_EXC_ERR)
+                return
         self.state = STATE_RNR_WAIT
         self._cancel_timer()
         profile = self.qp.rnic.profile
@@ -544,6 +551,9 @@ class Requester:
         self._progress_stamp += 1
         if not timer_only:
             self.retry_used = 0
+            # Forward progress also refills the finite RNR budget: the
+            # spec counts *consecutive* RNR NAKs per operation.
+            self.rnr_retries_used = 0
 
     def _ensure_timer(self, rearm: bool = False) -> None:
         if self.qp.attrs.cack == 0 or not self.wqes:
@@ -593,15 +603,35 @@ class Requester:
     # Errors
     # ------------------------------------------------------------------
 
-    def _fatal(self, status: WcStatus) -> None:
-        """Abort: error CQE for the head, flush the rest, QP to ERROR."""
+    def quiesce(self) -> None:
+        """Cancel every armed timer (error entry / QP reset)."""
         self._cancel_timer()
         if self._rnr_timer is not None:
             self._rnr_timer.cancel()
+            self._rnr_timer = None
         if self._blind_timer is not None:
             self._blind_timer.cancel()
+            self._blind_timer = None
         if self._fault_raise_timer is not None:
             self._fault_raise_timer.cancel()
+            self._fault_raise_timer = None
+
+    def flush_on_error(self) -> None:
+        """ERROR-state entry: flush the send queue with WR_FLUSH_ERR.
+
+        The fatal path empties ``wqes`` before moving the QP to ERROR
+        (its head CQE keeps the causal status), so this only flushes
+        work that was still queued when the error arrived from
+        elsewhere (peer failure, explicit ``enter_error``).
+        """
+        self.quiesce()
+        wqes, self.wqes = self.wqes, []
+        for wqe in wqes:
+            self._complete_wqe(wqe, WcStatus.WR_FLUSH_ERR)
+
+    def _fatal(self, status: WcStatus) -> None:
+        """Abort: error CQE for the head, flush the rest, QP to ERROR."""
+        self.quiesce()
         wqes, self.wqes = self.wqes, []
         if wqes:
             self._complete_wqe(wqes[0], status)

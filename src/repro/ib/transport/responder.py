@@ -84,6 +84,21 @@ class Responder:
         """Post a receive buffer for inbound SENDs."""
         self.recv_queue.append(rr)
 
+    def flush_on_error(self) -> None:
+        """ERROR-state entry: flush posted receives with WR_FLUSH_ERR
+        and abandon any half-assembled inbound message."""
+        self._assembly = None
+        while self.recv_queue:
+            rr = self.recv_queue.popleft()
+            self.qp.recv_cq.push(WorkCompletion(
+                wr_id=rr.wr_id,
+                status=WcStatus.WR_FLUSH_ERR,
+                opcode=WcOpcode.RECV,
+                byte_len=0,
+                qp_num=self.qp.qpn,
+                completed_at=self.sim.now,
+            ))
+
     def on_packet(self, packet: Packet) -> None:
         """Entry point for requester->responder packets."""
         if self.qp.state is QpState.ERROR:

@@ -1,0 +1,320 @@
+"""Protocol invariant monitor.
+
+``InvariantMonitor(cluster)`` wires itself into an already-built cluster
+and passively checks that the RC stack stays spec-correct while the
+fabric misbehaves:
+
+* **PSN monotonicity per flow** — first-transmission request packets on
+  one ``(src LID, src QPN)`` flow carry strictly increasing PSNs
+  (modulo the 24-bit wrap); a regression means the requester reused
+  sequence space.
+* **At-most-once signaled completion** — a ``(QP, wr_id)`` never
+  collects more SUCCESS completions than signaled posts.
+* **Flush-only after ERROR** — once a QP transitions to ERROR, every
+  later CQE it produces must be ``IBV_WC_WR_FLUSH_ERR`` (the causal
+  error CQE is pushed *before* the transition by the fatal path).
+* **Payload integrity** — a retransmitted request packet must carry the
+  byte-identical payload of the original PSN.
+* **Progress watchdog** — a QP whose head WQE has not changed for more
+  than ``k × detection-timeout`` is flagged with a diagnostic dump.
+  Stalls are *diagnostics*, not violations: the paper's pathologies
+  (damming, flood) are exactly such stalls, and several experiments
+  stall QPs by design.
+
+The monitor is strictly read-only and draws no randomness, so an
+instrumented run stays bit-identical to a bare one.  Its network tap
+registers **with** a synthetic sink: it never forces QP pairs off the
+storm coalescer's fast path (coalesced rounds are pure retransmissions,
+which the monitor's checks ignore by construction).
+
+``assert_clean()`` raises :class:`InvariantError` listing every recorded
+violation; ``report()`` summarises counters for smoke gates.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+
+from repro.ib.transport.psn import psn_diff
+from repro.ib.verbs.enums import QpState, WcOpcode, WcStatus
+from repro.ib.verbs.wr import RecvRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.host.cluster import Cluster
+    from repro.ib.verbs.qp import QueuePair
+
+
+@dataclass
+class Violation:
+    """One recorded invariant breach."""
+
+    time: int
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.time} ns] {self.invariant}: {self.detail}"
+
+
+class InvariantError(AssertionError):
+    """Raised by :meth:`InvariantMonitor.assert_clean`."""
+
+
+class InvariantMonitor:
+    """Passive spec-conformance checker for one cluster."""
+
+    #: payload witnesses kept before a bulk purge (bounds memory on the
+    #: million-packet sweeps; a purge only forgets, never misreports).
+    PAYLOAD_CACHE_LIMIT = 1 << 16
+    #: packets between opportunistic watchdog scans.
+    STALL_SCAN_PERIOD = 256
+
+    def __init__(self, cluster: "Cluster", k: int = 8):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.network = cluster.network
+        self.k = k
+        self.violations: List[Violation] = []
+        self.stalls: List[Dict[str, Any]] = []
+        self.packets_checked = 0
+        self.completions_checked = 0
+        # QPNs are allocated per RNIC (every node's first QP shares the
+        # same number), so all QP-keyed state uses (lid, qpn).
+        # (src_lid, src_qpn) -> highest first-transmission request PSN
+        self._flow_psn: Dict[Tuple[int, int], int] = {}
+        # (lid, qpn, is_recv, wr_id) -> signaled posts not yet completed
+        self._signaled_budget: Dict[Tuple[int, int, bool, int], int] = {}
+        # (src_lid, src_qpn, psn) -> (opcode, length, crc32)
+        self._payloads: Dict[Tuple[int, int, int],
+                             Tuple[Any, int, int]] = {}
+        self._errored_qps: Set[Tuple[int, int]] = set()
+        self._qps: Dict[Tuple[int, int], "QueuePair"] = {}
+        # a CQ itself does not know its node; bound at watch time.
+        self._cq_lids: Dict[int, int] = {}
+        # (lid, qpn) -> (head WQE identity, unchanged-since timestamp)
+        self._stall_marks: Dict[Tuple[int, int], Tuple[Any, int]] = {}
+        self._stalled_flagged: Set[Tuple[int, int]] = set()
+        self._tap_calls = 0
+        self.network.add_tap(self._on_packet, synthetic_sink=self._on_rows)
+        for node in cluster.nodes:
+            rnic = node.rnic
+            rnic.qp_watchers.append(self._watch_qp)
+            rnic.cq_watchers.append(
+                lambda cq, lid=node.lid: self._watch_cq(cq, lid))
+            for qp in list(rnic._qps.values()):  # noqa: SLF001
+                self._watch_qp(qp)
+            for cq in list(rnic.cqs):
+                self._watch_cq(cq, node.lid)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _watch_qp(self, qp: Any) -> None:
+        if not hasattr(qp, "transition_hooks"):
+            return  # UD QPs carry no RC state machine
+        self._qps[(qp.rnic.lid, qp.qpn)] = qp
+        qp.transition_hooks.append(self._on_transition)
+        qp.post_hooks.append(self._on_post)
+
+    def _watch_cq(self, cq: Any, lid: int) -> None:
+        self._cq_lids[id(cq)] = lid
+        if self._on_completion not in cq.push_hooks:
+            cq.push_hooks.append(self._on_completion)
+
+    # ------------------------------------------------------------------
+    # QP lifecycle
+    # ------------------------------------------------------------------
+
+    def _on_transition(self, qp: "QueuePair", old_state: QpState,
+                       new_state: QpState) -> None:
+        ident = (qp.rnic.lid, qp.qpn)
+        if new_state is QpState.ERROR:
+            self._errored_qps.add(ident)
+        elif new_state is QpState.RESET:
+            # A reset starts a fresh incarnation: old flow/budget/stall
+            # state belongs to the dead one.
+            self._errored_qps.discard(ident)
+            self._flow_psn.pop(ident, None)
+            for key in [k for k in self._signaled_budget
+                        if k[:2] == ident]:
+                del self._signaled_budget[key]
+            for key in [k for k in self._payloads if k[:2] == ident]:
+                del self._payloads[key]
+            self._stall_marks.pop(ident, None)
+            self._stalled_flagged.discard(ident)
+
+    def _on_post(self, qp: "QueuePair", wr: Any) -> None:
+        is_recv = isinstance(wr, RecvRequest)
+        if not is_recv and not wr.signaled:
+            return
+        key = (qp.rnic.lid, qp.qpn, is_recv, wr.wr_id)
+        self._signaled_budget[key] = self._signaled_budget.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Completions
+    # ------------------------------------------------------------------
+
+    def _on_completion(self, cq: Any, wc: Any) -> None:
+        self.completions_checked += 1
+        qpn = wc.qp_num
+        lid = self._cq_lids.get(id(cq), -1)
+        ident = (lid, qpn)
+        status = wc.status
+        if ident in self._errored_qps \
+                and status is not WcStatus.WR_FLUSH_ERR:
+            self._flag("flush_only_after_error",
+                       f"lid{lid}/QP{qpn} produced {status.value} for "
+                       f"wr_id {wc.wr_id} after entering ERROR")
+        key = (lid, qpn, wc.opcode is WcOpcode.RECV, wc.wr_id)
+        budget = self._signaled_budget.get(key, 0)
+        if status is WcStatus.SUCCESS:
+            if budget <= 0:
+                self._flag("at_most_once_completion",
+                           f"lid{lid}/QP{qpn} wr_id {wc.wr_id} completed "
+                           f"SUCCESS more often than it was posted")
+            else:
+                self._consume_budget(key, budget)
+        elif budget > 0:
+            # Error/flush CQEs consume the signaled budget too, so a
+            # repost of the same wr_id after recovery starts fresh.
+            self._consume_budget(key, budget)
+        # Any completion is forward progress for the watchdog.
+        self._stall_marks.pop(ident, None)
+        self._stalled_flagged.discard(ident)
+
+    def _consume_budget(self, key: Tuple[int, int, bool, int],
+                        budget: int) -> None:
+        if budget == 1:
+            del self._signaled_budget[key]
+        else:
+            self._signaled_budget[key] = budget - 1
+
+    # ------------------------------------------------------------------
+    # Wire observation
+    # ------------------------------------------------------------------
+
+    def _on_packet(self, time_ns: int, src_lid: int, packet: Any) -> None:
+        self.packets_checked += 1
+        if packet.is_request:
+            if not packet.retransmission:
+                flow = (src_lid, packet.src_qpn)
+                last = self._flow_psn.get(flow)
+                if last is None or psn_diff(packet.psn, last) > 0:
+                    self._flow_psn[flow] = packet.psn
+                else:
+                    self._flag("psn_monotonic",
+                               f"flow lid{src_lid}/qp{packet.src_qpn} sent "
+                               f"first-transmission PSN {packet.psn} after "
+                               f"{last}")
+            payload = packet.payload
+            if type(payload) is bytes and payload:
+                key = (src_lid, packet.src_qpn, packet.psn)
+                witness = (packet.opcode, len(payload), zlib.crc32(payload))
+                known = self._payloads.get(key)
+                if known is None:
+                    if len(self._payloads) >= self.PAYLOAD_CACHE_LIMIT:
+                        self._payloads.clear()
+                    self._payloads[key] = witness
+                elif known != witness:
+                    self._flag("payload_integrity",
+                               f"flow lid{src_lid}/qp{packet.src_qpn} PSN "
+                               f"{packet.psn} retransmitted with different "
+                               f"payload bytes")
+        self._tap_calls += 1
+        if self._tap_calls % self.STALL_SCAN_PERIOD == 0:
+            self.check_stalls()
+
+    def _on_rows(self, rows: List) -> None:
+        # Bulk rows synthesised by the storm coalescer are pure
+        # retransmission rounds: nothing in them can move a first-
+        # transmission PSN or change payload bytes (exact-or-decline
+        # contract), so they only count as observed traffic.
+        self.packets_checked += len(rows)
+
+    # ------------------------------------------------------------------
+    # Progress watchdog
+    # ------------------------------------------------------------------
+
+    def check_stalls(self) -> List[Dict[str, Any]]:
+        """Scan for QPs stalled beyond ``k`` detection timeouts.
+
+        Called opportunistically from the tap (every
+        ``STALL_SCAN_PERIOD`` packets) and explicitly by smoke gates;
+        deliberately *not* a scheduled event, which would perturb the
+        engine's idle probes.  Returns the full stall list.
+        """
+        now = self.sim.now
+        for ident, qp in self._qps.items():
+            if qp.state is not QpState.RTS:
+                self._stall_marks.pop(ident, None)
+                continue
+            wqes = qp.requester.wqes
+            if not wqes:
+                self._stall_marks.pop(ident, None)
+                continue
+            head = wqes[0]
+            mark = self._stall_marks.get(ident)
+            if mark is None or mark[0] is not head:
+                self._stall_marks[ident] = (head, now)
+                continue
+            profile = qp.rnic.profile
+            cack = qp.attrs.cack
+            base = profile.detection_timeout_ns(cack if cack else 14)
+            stalled_for = now - mark[1]
+            if stalled_for > self.k * base \
+                    and ident not in self._stalled_flagged:
+                self._stalled_flagged.add(ident)
+                self.stalls.append(self._stall_dump(qp, head, stalled_for))
+        return self.stalls
+
+    def _stall_dump(self, qp: "QueuePair", head: Any,
+                    stalled_for: int) -> Dict[str, Any]:
+        req = qp.requester
+        return {
+            "time": self.sim.now,
+            "qpn": qp.qpn,
+            "lid": qp.rnic.lid,
+            "remote_lid": qp.remote_lid,
+            "remote_qpn": qp.remote_qpn,
+            "stalled_ns": stalled_for,
+            "head_wr_id": head.wr.wr_id,
+            "head_opcode": head.wr.opcode.value,
+            "head_first_psn": head.first_psn,
+            "outstanding": len(req.wqes),
+            "requester_state": req.state,
+            "retry_used": req.retry_used,
+            "timeouts": req.timeouts,
+            "rnr_naks_received": req.rnr_naks_received,
+        }
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def _flag(self, invariant: str, detail: str) -> None:
+        self.violations.append(Violation(self.sim.now, invariant, detail))
+
+    def assert_clean(self) -> None:
+        """Raise :class:`InvariantError` if any violation was recorded."""
+        self.check_stalls()
+        if self.violations:
+            raise InvariantError(
+                f"{len(self.violations)} invariant violation(s):\n"
+                + "\n".join(str(v) for v in self.violations))
+
+    def report(self) -> Dict[str, Any]:
+        """Counter summary for smoke gates and logs."""
+        return {
+            "packets_checked": self.packets_checked,
+            "completions_checked": self.completions_checked,
+            "violations": len(self.violations),
+            "stalls": len(self.stalls),
+            "qps_watched": len(self._qps),
+        }
+
+    def detach(self) -> None:
+        """Stop observing the fabric (QP/CQ hooks stay, inert)."""
+        self.network.remove_tap(self._on_packet)

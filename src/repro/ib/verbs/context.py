@@ -43,6 +43,7 @@ class Context:
         """Create a completion queue."""
         cq = CompletionQueue(self.rnic.sim, next(_cq_numbers), capacity)
         self.cqs.append(cq)
+        self.rnic.note_cq_created(cq)
         return cq
 
     @property

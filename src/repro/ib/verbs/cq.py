@@ -28,6 +28,11 @@ class CompletionQueue:
         self.total_completions = 0
         self.overflows = 0
         self.on_completion: Optional[Callable[[WorkCompletion], None]] = None
+        #: passive observers called as ``hook(cq, wc)`` on every push
+        #: (invariant monitor); guarded so an empty list costs nothing,
+        #: and separate from ``on_completion`` which workloads own.
+        self.push_hooks: List[Callable[["CompletionQueue",
+                                        WorkCompletion], None]] = []
 
     def push(self, wc: WorkCompletion) -> None:
         """Insert a completion (called by the transport)."""
@@ -36,6 +41,9 @@ class CompletionQueue:
             return
         self._entries.append(wc)
         self.total_completions += 1
+        if self.push_hooks:
+            for hook in self.push_hooks:
+                hook(self, wc)
         if self.on_completion is not None:
             self.on_completion(wc)
         self._satisfy_waiters()

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.ib.transport.coalesce import StormCoalescer
 from repro.ib.transport.requester import Requester
@@ -32,7 +32,10 @@ class QpAttrs:
 
     cack: int = 14
     retry_count: int = 7
-    rnr_retry: int = 7  # 7 = retry forever, the usual setting
+    #: 3-bit RNR Retry Count: 7 = retry forever (the usual setting); any
+    #: other value is a finite budget of consecutive RNR NAKs, exhausted
+    #: with ``IBV_WC_RNR_RETRY_EXC_ERR``.
+    rnr_retry: int = 7
     min_rnr_timer_ns: int = 10 * US
     #: Initiator depth: maximum outstanding READ/atomic requests.
     max_rd_atomic: int = 16
@@ -42,6 +45,8 @@ class QpAttrs:
             raise ValueError("cack is a 5-bit field")
         if not 0 <= self.retry_count <= 7:
             raise ValueError("retry_count is a 3-bit field")
+        if not 0 <= self.rnr_retry <= 7:
+            raise ValueError("rnr_retry is a 3-bit field")
         if self.max_rd_atomic < 1:
             raise ValueError("max_rd_atomic must be at least 1")
 
@@ -71,9 +76,20 @@ class QueuePair:
         self.attrs = QpAttrs()
         self.remote_lid: Optional[int] = None
         self.remote_qpn: Optional[int] = None
+        #: passive observers: ``hook(qp, old_state, new_state)`` on every
+        #: state transition and ``hook(qp, wr)`` on every post (invariant
+        #: monitor wiring).  Guarded; empty lists cost nothing.
+        self.transition_hooks: List[Callable[["QueuePair", QpState,
+                                              QpState], None]] = []
+        self.post_hooks: List[Callable[["QueuePair", object], None]] = []
+        #: bumped by :meth:`to_reset` so each incarnation starts from a
+        #: fresh deterministic PSN (a reused PSN space would make the
+        #: monitor's per-flow monotonicity check meaningless).
+        self.incarnation = 0
         self.requester = Requester(self)
         self.responder = Responder(self)
         self.coalescer = StormCoalescer(self)
+        self.rnic.note_qp_created(self)
 
     # ------------------------------------------------------------------
 
@@ -95,13 +111,75 @@ class QueuePair:
         self.remote_lid = remote.lid
         self.remote_qpn = remote.qpn
         self.responder.epsn = remote.psn
-        self.state = QpState.RTS
+        self._transition(QpState.RTR)
+        self._transition(QpState.RTS)
+
+    # ------------------------------------------------------------------
+    # Failure lifecycle: ERROR -> RESET -> INIT -> RTR -> RTS
+    # ------------------------------------------------------------------
+
+    def _transition(self, new_state: QpState) -> None:
+        old_state, self.state = self.state, new_state
+        if self.transition_hooks:
+            for hook in list(self.transition_hooks):
+                hook(self, old_state, new_state)
+
+    def to_reset(self) -> None:
+        """``ibv_modify_qp`` to RESET: legal from any state.
+
+        Everything transient dies: timers are cancelled, the transport
+        machines and the coalescer are rebuilt from scratch, and the next
+        incarnation gets a fresh deterministic initial PSN.  CQEs already
+        pushed stay in their CQs (the spec leaves flushing them to the
+        application; ``cluster.reconnect`` drains them).
+        """
+        self.requester.quiesce()
+        self.incarnation += 1
+        self.initial_psn = ((self.qpn * 7919)
+                            + self.incarnation * 104729) & PSN_MASK
+        self.remote_lid = None
+        self.remote_qpn = None
+        self.requester = Requester(self)
+        self.responder = Responder(self)
+        self.coalescer = StormCoalescer(self)
+        self.rnic.note_qp_idle(self)
+        self._transition(QpState.RESET)
+
+    def to_init(self) -> None:
+        """RESET -> INIT."""
+        if self.state is not QpState.RESET:
+            raise RuntimeError(f"QP{self.qpn}: to_init from {self.state}")
+        self._transition(QpState.INIT)
+
+    def to_rtr(self, remote: QpInfo, attrs: Optional[QpAttrs] = None) -> None:
+        """INIT -> RTR against ``remote`` (the receive side goes live)."""
+        if self.state is not QpState.INIT:
+            raise RuntimeError(f"QP{self.qpn}: to_rtr from {self.state}")
+        if attrs is not None:
+            self.attrs = attrs
+        self.remote_lid = remote.lid
+        self.remote_qpn = remote.qpn
+        self.responder.epsn = remote.psn
+        self._transition(QpState.RTR)
+
+    def to_rts(self) -> None:
+        """RTR -> RTS (the send side goes live)."""
+        if self.state is not QpState.RTR:
+            raise RuntimeError(f"QP{self.qpn}: to_rts from {self.state}")
+        self._transition(QpState.RTS)
 
     # ------------------------------------------------------------------
 
     def handle_packet(self, packet) -> None:
         """RNIC dispatch: requests go to the responder, responses and
         acknowledgements to the requester."""
+        state = self.state
+        if state is not QpState.RTS and state is not QpState.RTR:
+            # A RESET/INIT/ERROR QP silently discards inbound packets
+            # (real HCAs answer nothing for a QP that is not at least
+            # RTR; the peer recovers via timeout).
+            self.rnic.stats["rx_dropped_qp_state"] += 1
+            return
         if packet.is_request:
             self.responder.on_packet(packet)
         else:
@@ -109,15 +187,33 @@ class QueuePair:
 
     def post_send(self, wr: WorkRequest) -> None:
         """Post to the send queue (``ibv_post_send``)."""
+        if self.post_hooks:
+            for hook in list(self.post_hooks):
+                hook(self, wr)
         self.requester.post(wr)
 
     def post_recv(self, wr_id: int, sge: Sge) -> None:
         """Post a receive buffer (``ibv_post_recv``)."""
-        self.responder.post_recv(RecvRequest(wr_id, sge))
+        rr = RecvRequest(wr_id, sge)
+        if self.post_hooks:
+            for hook in list(self.post_hooks):
+                hook(self, rr)
+        self.responder.post_recv(rr)
 
     def enter_error(self) -> None:
-        """Move to the ERROR state (stops all processing)."""
-        self.state = QpState.ERROR
+        """Move to ERROR: flush outstanding work and stop processing.
+
+        Both transport machines flush with ``IBV_WC_WR_FLUSH_ERR`` (the
+        requester's fatal path completes the failing WQE with its real
+        error status *before* calling here, so the head CQE keeps its
+        cause).  Idempotent.
+        """
+        if self.state is QpState.ERROR:
+            return
+        self._transition(QpState.ERROR)
+        self.requester.flush_on_error()
+        self.responder.flush_on_error()
+        self.rnic.note_qp_idle(self)
 
     @property
     def outstanding(self) -> int:

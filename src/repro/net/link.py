@@ -46,6 +46,18 @@ class LinkEnd:
         self._busy_until = 0
         self.tx_packets = 0
         self.tx_bytes = 0
+        #: physical state: a down direction drops every packet offered to
+        #: it (and, when in-flight tracking is enabled, drains packets
+        #: already on the wire — their bits are lost mid-link).
+        self.up = True
+        #: additional one-way delay (chaos latency spikes).
+        self.extra_delay_ns = 0
+        #: ``on_drop(packet, reason)`` for link-level losses.
+        self.on_drop: Optional[Callable[[Any, str], None]] = None
+        self.dropped_link_down = 0
+        self._track_inflight = False
+        self._inflight: Dict[int, Any] = {}  # token -> (event, packet)
+        self._inflight_next = 0
         #: wire_size -> serialization_ns.  Traffic uses a handful of
         #: distinct wire sizes (header-only, header+RETH, MTU chunks),
         #: so the hot transmit loop reduces to one dict hit.
@@ -68,9 +80,18 @@ class LinkEnd:
         return ns
 
     def transmit(self, packet: Any) -> int:
-        """Queue ``packet`` for transmission; returns its arrival time."""
+        """Queue ``packet`` for transmission; returns its arrival time.
+
+        A down direction drops the packet immediately (no serialisation,
+        no counters beyond ``dropped_link_down``) and returns ``-1``.
+        """
         if self.deliver is None:
             raise RuntimeError(f"link end {self.name!r} is not connected")
+        if not self.up:
+            self.dropped_link_down += 1
+            if self.on_drop is not None:
+                self.on_drop(packet, "link_down")
+            return -1
         wire_size = packet.wire_size
         ser = self._ser_cache.get(wire_size)
         if ser is None:
@@ -80,11 +101,59 @@ class LinkEnd:
         if busy > start:
             start = busy
         self._busy_until = start + ser
-        arrival = self._busy_until + self.propagation_ns
+        arrival = self._busy_until + self.propagation_ns + self.extra_delay_ns
         self.tx_packets += 1
         self.tx_bytes += wire_size
-        self.sim.at(arrival, self.deliver, packet)
+        if self._track_inflight:
+            token = self._inflight_next
+            self._inflight_next = token + 1
+            event = self.sim.at(arrival, self._tracked_deliver, token, packet)
+            self._inflight[token] = (event, packet)
+        else:
+            self.sim.at(arrival, self.deliver, packet)
         return arrival
+
+    # ------------------------------------------------------------------
+    # Link state (chaos: flaps and latency spikes)
+    # ------------------------------------------------------------------
+
+    def enable_inflight_tracking(self) -> None:
+        """Track delivery events so :meth:`set_down` can drain the wire.
+
+        Tracking changes no timing (the delivery event fires at the same
+        timestamp through a one-hop trampoline); it is enabled up front
+        for any link a chaos plan may flap, so instrumented and bare
+        runs stay bit-identical.
+        """
+        self._track_inflight = True
+
+    def _tracked_deliver(self, token: int, packet: Any) -> None:
+        self._inflight.pop(token, None)
+        self.deliver(packet)
+
+    def set_down(self) -> None:
+        """Take this direction down; tracked in-flight packets drain.
+
+        Bits already on the wire are lost mid-link: every pending
+        tracked delivery is cancelled and reported via ``on_drop`` with
+        reason ``"link_down"`` (in transmission order).
+        """
+        self.up = False
+        if not self._inflight:
+            return
+        drained = sorted(self._inflight.items())
+        self._inflight.clear()
+        for _token, (event, packet) in drained:
+            if not event.pending:
+                continue
+            event.cancel()
+            self.dropped_link_down += 1
+            if self.on_drop is not None:
+                self.on_drop(packet, "link_down")
+
+    def set_up(self) -> None:
+        """Bring this direction back up."""
+        self.up = True
 
     def bulk_occupy(self, packets: int, nbytes: int, busy_until: int) -> None:
         """Account for a batch of transmissions applied in closed form.

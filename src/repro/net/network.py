@@ -30,6 +30,8 @@ class PortStats:
     rx_packets: int = 0
     rx_bytes: int = 0
     drops_injected: int = 0
+    #: corrupted packets discarded by this port's ICRC check.
+    icrc_drops: int = 0
 
 
 @dataclass
@@ -78,6 +80,10 @@ class Network:
         self._tap_meta: Dict[Callable, Tuple[Optional[frozenset],
                                              Optional[Callable]]] = {}
         self._loss_meta: Dict[Callable, Optional[frozenset]] = {}
+        #: installed :class:`repro.chaos.engine.ChaosEngine`, or None.
+        #: Consulted on every injection (packet faults) and by
+        #: :meth:`requires_real` (active windows force per-packet).
+        self.chaos: Optional[Any] = None
         self.switch.on_drop = self._on_switch_drop
 
     # ------------------------------------------------------------------
@@ -131,16 +137,34 @@ class Network:
         self._tap_meta.pop(tap, None)
 
     def add_loss_rule(self, rule: Callable[[Any], bool],
-                      lids: Optional[Iterable[int]] = None) -> None:
+                      lids: Optional[Iterable[int]] = None
+                      ) -> Callable[[Any], bool]:
         """Drop (at injection) every packet for which ``rule`` is true.
 
         ``lids`` scopes which endpoints the rule can affect; traffic
         between a scoped pair must run per-packet (a coalesced round
         would bypass the drop check), while unscoped pairs stay eligible
         for coalescing.
+
+        Returns ``rule`` itself as a removable handle for
+        :meth:`remove_loss_rule`, so a fault window can retract its own
+        rule without clobbering experiment-owned ones.
         """
         self._loss_rules.append(rule)
         self._loss_meta[rule] = None if lids is None else frozenset(lids)
+        return rule
+
+    def remove_loss_rule(self, rule: Callable[[Any], bool]) -> None:
+        """Remove one rule added with :meth:`add_loss_rule`.
+
+        Removing a rule that is no longer installed is a no-op, so a
+        window may retract its rule even after ``clear_loss_rules()``.
+        """
+        try:
+            self._loss_rules.remove(rule)
+        except ValueError:
+            return
+        self._loss_meta.pop(rule, None)
 
     def clear_loss_rules(self) -> None:
         """Remove all loss rules."""
@@ -166,6 +190,8 @@ class Network:
             lids = self._loss_meta.get(rule)
             if lids is None or src_lid in lids or dst_lid in lids:
                 return True
+        if self.chaos is not None and self.chaos.affects_pair(src_lid, dst_lid):
+            return True
         return False
 
     def synthetic_sinks(self, src_lid: int, dst_lid: int
@@ -190,7 +216,6 @@ class Network:
         Taps and loss rules are guarded so a fabric without an attached
         analyzer or injected faults pays nothing for either feature.
         """
-        stats = self.stats[src_lid]
         if self._taps:
             now = self.sim.now
             for tap in self._taps:
@@ -198,21 +223,81 @@ class Network:
         if self._loss_rules:
             for rule in self._loss_rules:
                 if rule(packet):
+                    stats = self.stats[src_lid]
                     stats.drops_injected += 1
                     self.drops.append(DropReason(self.sim.now, packet))
                     return
+        if self.chaos is not None:
+            actions = self.chaos.on_inject(src_lid, packet)
+            if actions is not None:
+                # The engine took over: transmit each (delay, packet)
+                # replacement.  An empty list means "dropped".
+                for delay, replacement in actions:
+                    if delay:
+                        self.sim.schedule(delay, self._transmit,
+                                          src_lid, replacement)
+                    else:
+                        self._transmit(src_lid, replacement)
+                return
+        self._transmit(src_lid, packet)
+
+    def _transmit(self, src_lid: int, packet: Any) -> None:
+        """Book tx stats and hand the packet to the uplink."""
+        stats = self.stats[src_lid]
         stats.tx_packets += 1
         stats.tx_bytes += packet.wire_size
         self._links[src_lid].a_to_b.transmit(packet)
 
+    def record_injected_drop(self, src_lid: int, packet: Any,
+                             reason: str) -> None:
+        """Book an injection-time drop (chaos engine drop faults)."""
+        self.stats[src_lid].drops_injected += 1
+        self.drops.append(DropReason(self.sim.now, packet, reason))
+
     def _deliver(self, lid: int, packet: Any) -> None:
         stats = self.stats[lid]
+        if packet.corrupted:
+            # ICRC validation at the receiving port: a corrupted packet
+            # is silently discarded, exactly as a real RNIC does —
+            # upper layers only ever notice via timeout/retransmission.
+            stats.icrc_drops += 1
+            self.drops.append(DropReason(self.sim.now, packet, "icrc"))
+            return
         stats.rx_packets += 1
         stats.rx_bytes += packet.wire_size
         self._receivers[lid](packet)
 
     def _on_switch_drop(self, packet: Any, reason: str) -> None:
         self.drops.append(DropReason(self.sim.now, packet, reason))
+
+    # ------------------------------------------------------------------
+    # Fabric state helpers (chaos: LID churn and link flaps)
+    # ------------------------------------------------------------------
+
+    def detach_lid(self, lid: int) -> None:
+        """Remove ``lid`` from the switch forwarding table (LID churn).
+
+        The host port stays attached; traffic *to* the LID drops at the
+        switch as ``unknown_lid`` until :meth:`reattach_lid`.
+        """
+        self.switch.detach(lid)
+
+    def reattach_lid(self, lid: int) -> None:
+        """Restore a LID removed with :meth:`detach_lid`."""
+        if lid not in self._links:
+            raise ValueError(f"LID {lid} was never attached")
+        if not self.switch.knows(lid):
+            self.switch.attach(lid, self._links[lid].b_to_a)
+
+    def link_up(self, lid: int) -> bool:
+        """True when both directions of the LID's link are up."""
+        link = self._links[lid]
+        return link.a_to_b.up and link.b_to_a.up
+
+    def link_ends(self, lid: int):
+        """Both :class:`~repro.net.link.LinkEnd` directions of a LID."""
+        link = self._links[lid]
+        return (link.a_to_b, link.b_to_a)
 
     # ------------------------------------------------------------------
 

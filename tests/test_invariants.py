@@ -1,0 +1,211 @@
+"""Invariant monitor: clean on conforming runs, loud on injected bugs."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chaos import ChaosEngine, ChaosPlan, FaultKind, FaultWindow
+from repro.ib.device import CONNECTX4
+from repro.ib.opcodes import Opcode
+from repro.ib.validate import InvariantError, InvariantMonitor
+from repro.ib.verbs.enums import WcOpcode, WcStatus
+from repro.ib.verbs.qp import QpAttrs
+from repro.ib.verbs.wr import (RemoteAddr, Sge, WorkCompletion,
+                               WorkRequest)
+from repro.sim.timebase import MS, US
+
+from tests.helpers import make_connected_pair
+
+
+def post_read(client, server, wr_id=1, offset=0, size=64):
+    client.qp.post_send(WorkRequest.read(
+        wr_id=wr_id, local=Sge(client.mr, client.buf.addr(offset), size),
+        remote=RemoteAddr(server.buf.addr(offset), server.mr.rkey)))
+
+
+class TestCleanRuns:
+    def test_clean_on_healthy_traffic(self):
+        cluster, client, server = make_connected_pair()
+        monitor = InvariantMonitor(cluster)
+        server.buf.write(0, b"x" * 64)
+        client.buf.write(1024, b"y" * 64)
+        for i in range(4):
+            post_read(client, server, wr_id=i, offset=i * 64)
+        client.qp.post_send(WorkRequest.write(
+            wr_id=10, local=Sge(client.mr, client.buf.addr(1024), 64),
+            remote=RemoteAddr(server.buf.addr(1024), server.mr.rkey)))
+        cluster.sim.run_until_idle()
+        assert len(client.cq.poll(20)) == 5
+        monitor.assert_clean()
+        report = monitor.report()
+        assert report["packets_checked"] > 0
+        assert report["completions_checked"] == 5
+        assert report["violations"] == 0
+
+    def test_clean_under_chaos_drops(self):
+        cluster, client, server = make_connected_pair()
+        monitor = InvariantMonitor(cluster)
+        ChaosEngine(cluster, ChaosPlan([
+            FaultWindow(0, 3 * MS, FaultKind.DROP, probability=0.5)]),
+            seed=5).install()
+        for i in range(6):
+            post_read(client, server, wr_id=i, offset=i * 64)
+        cluster.sim.run_until_idle()
+        wcs = client.cq.poll(20)
+        assert len(wcs) == 6 and all(wc.ok for wc in wcs)
+        monitor.assert_clean()
+
+    def test_clean_across_error_and_reconnect(self):
+        cluster, client, server = make_connected_pair()
+        monitor = InvariantMonitor(cluster)
+        for i in range(3):
+            post_read(client, server, wr_id=100 + i)
+        client.qp.enter_error()
+        cluster.sim.run_until_idle()
+        proc = cluster.reconnect(client.qp, server.qp)
+        cluster.sim.run_until_idle()
+        assert proc.done and proc.result.attempts == 1
+        post_read(client, server, wr_id=1)
+        cluster.sim.run_until_idle()
+        assert client.cq.poll(10)[0].ok
+        monitor.assert_clean()
+
+    def test_detach_stops_observation(self):
+        cluster, client, server = make_connected_pair()
+        monitor = InvariantMonitor(cluster)
+        monitor.detach()
+        post_read(client, server)
+        cluster.sim.run_until_idle()
+        assert monitor.packets_checked == 0
+
+
+class TestNegativeDetection:
+    def test_flags_psn_regression(self):
+        cluster, client, server = make_connected_pair()
+        monitor = InvariantMonitor(cluster)
+        captured = {}
+
+        def tap(time_ns, src_lid, pkt):
+            if pkt.opcode is Opcode.RDMA_READ_REQUEST \
+                    and "req" not in captured:
+                captured["req"] = pkt
+
+        cluster.network.add_tap(tap)
+        post_read(client, server, wr_id=1)
+        post_read(client, server, wr_id=2, offset=64)
+        cluster.sim.run_until_idle()
+        assert len(client.cq.poll(10)) == 2
+        # Replay the first request as a *first transmission* (the
+        # retransmission flag is clear): the flow's PSN regresses.
+        cluster.network.inject(client.node.lid, captured["req"])
+        cluster.sim.run_until_idle()
+        with pytest.raises(InvariantError, match="psn_monotonic"):
+            monitor.assert_clean()
+
+    def test_flags_duplicate_success_completion(self):
+        cluster, client, server = make_connected_pair()
+        monitor = InvariantMonitor(cluster)
+        post_read(client, server, wr_id=1)
+        cluster.sim.run_until_idle()
+        assert client.cq.poll(10)[0].ok
+        # A completion that was never posted: zero signaled budget.
+        client.cq.push(WorkCompletion(
+            wr_id=1, status=WcStatus.SUCCESS, opcode=WcOpcode.RDMA_READ,
+            byte_len=64, qp_num=client.qp.qpn,
+            completed_at=cluster.sim.now))
+        with pytest.raises(InvariantError, match="at_most_once"):
+            monitor.assert_clean()
+
+    def test_flags_non_flush_completion_after_error(self):
+        cluster, client, server = make_connected_pair()
+        monitor = InvariantMonitor(cluster)
+        client.qp.enter_error()
+        client.cq.push(WorkCompletion(
+            wr_id=9, status=WcStatus.SUCCESS, opcode=WcOpcode.SEND,
+            byte_len=0, qp_num=client.qp.qpn,
+            completed_at=cluster.sim.now))
+        with pytest.raises(InvariantError, match="flush_only_after_error"):
+            monitor.assert_clean()
+
+    def test_flags_retransmit_payload_mismatch(self):
+        cluster, client, server = make_connected_pair()
+        monitor = InvariantMonitor(cluster)
+        captured = {}
+
+        def tap(time_ns, src_lid, pkt):
+            if pkt.opcode is Opcode.RDMA_WRITE_ONLY \
+                    and "req" not in captured:
+                captured["req"] = pkt
+
+        cluster.network.add_tap(tap)
+        client.buf.write(0, b"A" * 32)
+        client.qp.post_send(WorkRequest.write(
+            wr_id=1, local=Sge(client.mr, client.buf.addr(0), 32),
+            remote=RemoteAddr(server.buf.addr(0), server.mr.rkey)))
+        cluster.sim.run_until_idle()
+        assert client.cq.poll(10)[0].ok
+        # "Retransmit" the same PSN with different bytes — the responder
+        # ACKs the duplicate without executing it, but the wire-level
+        # integrity contract is broken and must be flagged.
+        pkt = captured["req"]
+        pkt.retransmission = True
+        pkt.payload = b"Z" * 32
+        cluster.network.inject(client.node.lid, pkt)
+        cluster.sim.run_until_idle()
+        with pytest.raises(InvariantError, match="payload_integrity"):
+            monitor.assert_clean()
+
+
+class TestWatchdog:
+    def test_stall_diagnostic_not_violation(self):
+        # min_cack=1 + cack=1 gives a ~15 us detection timeout, so a
+        # loss-rule blackhole stalls the head WQE past k=1 timeouts
+        # within microseconds of simulated time.
+        profile = replace(CONNECTX4, min_cack=1)
+        cluster, client, server = make_connected_pair(
+            profile=profile, attrs=QpAttrs(cack=1, retry_count=7))
+        monitor = InvariantMonitor(cluster, k=1)
+        cluster.network.add_loss_rule(
+            lambda pkt: pkt.opcode is Opcode.RDMA_READ_REQUEST)
+        post_read(client, server, wr_id=1)
+        cluster.sim.schedule(5 * US, monitor.check_stalls)   # arm the mark
+        cluster.sim.schedule(60 * US, monitor.check_stalls)  # measure
+        cluster.sim.run_until_idle()
+        wc, = client.cq.poll(10)
+        assert wc.status is WcStatus.RETRY_EXC_ERR
+        assert len(monitor.stalls) == 1
+        dump = monitor.stalls[0]
+        assert dump["qpn"] == client.qp.qpn
+        assert dump["head_wr_id"] == 1
+        assert dump["outstanding"] == 1
+        assert dump["timeouts"] >= 1
+        # Stalls are diagnostics; the run itself is spec-conformant.
+        monitor.assert_clean()
+
+
+class TestInstrumentedExperiments:
+    def test_fig04_entry_point_stays_clean(self, monkeypatch):
+        from repro.experiments.fig04_damming import run_figure4
+        from repro.host.cluster import Cluster
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        monitors = []
+        monkeypatch.setattr(Cluster, "instrument",
+                            lambda cluster: monitors.append(
+                                InvariantMonitor(cluster)))
+        run_figure4(trials=1, seed=0)
+        assert monitors
+        for monitor in monitors:
+            monitor.assert_clean()
+
+    def test_fig02_entry_point_stays_clean(self, monkeypatch):
+        from repro.experiments.fig02_timeout import run_figure2
+        from repro.host.cluster import Cluster
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        monitors = []
+        monkeypatch.setattr(Cluster, "instrument",
+                            lambda cluster: monitors.append(
+                                InvariantMonitor(cluster)))
+        run_figure2(cacks=[1, 14], seed=0, processes=1)
+        assert monitors
+        for monitor in monitors:
+            monitor.assert_clean()

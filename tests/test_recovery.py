@@ -1,0 +1,181 @@
+"""QP failure lifecycle: state machine, error flush semantics, RNR
+retry budgets, and the full flap -> error -> reconnect scenario."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.recovery import RecoveryConfig, run_recovery
+from repro.host.cluster import ReconnectError
+from repro.ib.device import CONNECTX4
+from repro.ib.verbs.enums import QpState, WcOpcode, WcStatus
+from repro.ib.verbs.qp import QpAttrs
+from repro.ib.verbs.wr import RemoteAddr, Sge, WorkRequest
+from repro.sim.timebase import MS, US
+
+from tests.helpers import make_connected_pair
+
+
+def post_read(client, server, wr_id=1, offset=0, size=64):
+    client.qp.post_send(WorkRequest.read(
+        wr_id=wr_id, local=Sge(client.mr, client.buf.addr(offset), size),
+        remote=RemoteAddr(server.buf.addr(offset), server.mr.rkey)))
+
+
+class TestStateMachine:
+    def test_full_cycle_with_hooks(self):
+        cluster, client, server = make_connected_pair()
+        transitions = []
+        client.qp.transition_hooks.append(
+            lambda qp, old, new: transitions.append((old, new)))
+        attrs = QpAttrs()
+        for qp in (client.qp, server.qp):
+            qp.to_reset()
+            qp.to_init()
+        client.qp.to_rtr(server.qp.info(), attrs)
+        server.qp.to_rtr(client.qp.info(), attrs)
+        client.qp.to_rts()
+        server.qp.to_rts()
+        assert [new for _, new in transitions] == [
+            QpState.RESET, QpState.INIT, QpState.RTR, QpState.RTS]
+        post_read(client, server, wr_id=1)
+        cluster.sim.run_until_idle()
+        assert client.cq.poll(10)[0].ok
+
+    def test_out_of_order_transitions_rejected(self):
+        _, client, _ = make_connected_pair()
+        with pytest.raises(RuntimeError):
+            client.qp.to_init()  # only valid from RESET
+        with pytest.raises(RuntimeError):
+            client.qp.to_rts()  # only valid from RTR
+
+    def test_reset_starts_fresh_psn_space(self):
+        _, client, _ = make_connected_pair()
+        first_psn = client.qp.initial_psn
+        client.qp.to_reset()
+        assert client.qp.incarnation == 1
+        assert client.qp.initial_psn != first_psn
+        assert client.qp.remote_lid is None
+
+    def test_packets_dropped_outside_rts_rtr(self):
+        cluster, client, server = make_connected_pair()
+        post_read(client, server, wr_id=1)
+        server.qp.enter_error()  # mid-flight: request arrives in ERROR
+        cluster.sim.run_until_idle()
+        assert server.node.rnic.stats["rx_dropped_qp_state"] >= 1
+
+
+class TestErrorFlush:
+    def test_enter_error_flushes_pending_sends(self):
+        cluster, client, server = make_connected_pair()
+        for i in range(3):
+            post_read(client, server, wr_id=i)
+        client.qp.enter_error()
+        cluster.sim.run_until_idle()
+        wcs = client.cq.poll(10)
+        assert [wc.wr_id for wc in wcs] == [0, 1, 2]
+        assert all(wc.status is WcStatus.WR_FLUSH_ERR for wc in wcs)
+        assert client.qp.state is QpState.ERROR
+
+    def test_enter_error_flushes_posted_recvs(self):
+        cluster, client, server = make_connected_pair()
+        for i in range(2):
+            server.qp.post_recv(
+                50 + i, Sge(server.mr, server.buf.addr(0), 64))
+        server.qp.enter_error()
+        wcs = server.cq.poll(10)
+        assert [wc.wr_id for wc in wcs] == [50, 51]
+        assert all(wc.status is WcStatus.WR_FLUSH_ERR for wc in wcs)
+        assert all(wc.opcode is WcOpcode.RECV for wc in wcs)
+
+    def test_enter_error_is_idempotent(self):
+        _, client, _ = make_connected_pair()
+        post_read(client, client, wr_id=1)
+        client.qp.enter_error()
+        flushed = client.cq.poll(10)
+        client.qp.enter_error()
+        assert len(flushed) == 1
+        assert client.cq.poll(10) == []  # no double flush
+
+
+class TestRnrRetryBudget:
+    def test_finite_budget_exhausts_with_rnr_retry_exc(self):
+        cluster, client, server = make_connected_pair(
+            attrs=QpAttrs(rnr_retry=1))
+        client.qp.post_send(WorkRequest.send(wr_id=1, inline_data=b"hi"))
+        cluster.sim.run_until_idle()
+        wc, = client.cq.poll(10)
+        assert wc.status is WcStatus.RNR_RETRY_EXC_ERR
+        # budget of 1 retry = original NAK plus one retried NAK
+        assert client.qp.requester.rnr_naks_received == 2
+        assert client.qp.state is QpState.ERROR
+
+    def test_rnr_retry_seven_retries_forever(self):
+        cluster, client, server = make_connected_pair()  # rnr_retry=7
+        client.qp.post_send(WorkRequest.send(wr_id=1, inline_data=b"hello"))
+        cluster.sim.schedule(100 * US, server.qp.post_recv, 5,
+                             Sge(server.mr, server.buf.addr(0), 64))
+        cluster.sim.run_until_idle()
+        wc, = client.cq.poll(10)
+        assert wc.ok
+        assert client.qp.requester.rnr_naks_received >= 2
+        recv_wc, = server.cq.poll(10)
+        assert recv_wc.ok and recv_wc.wr_id == 5
+        assert server.buf.read(0, 5) == b"hello"
+        # progress resets the consecutive-NAK budget
+        assert client.qp.requester.rnr_retries_used == 0
+
+
+class TestReconnect:
+    def test_healthy_fabric_reconnects_first_probe(self):
+        cluster, client, server = make_connected_pair()
+        post_read(client, server, wr_id=1)
+        cluster.sim.run_until_idle()  # leave one stale CQE queued
+        proc = cluster.reconnect(client.qp, server.qp)
+        cluster.sim.run_until_idle()
+        assert proc.done
+        result = proc.result
+        assert result.attempts == 1
+        assert len(result.flushed) == 1  # the stale success CQE
+        assert client.qp.state is QpState.RTS
+        assert server.qp.state is QpState.RTS
+        post_read(client, server, wr_id=2)
+        cluster.sim.run_until_idle()
+        assert client.cq.poll(10)[0].ok
+
+    def test_unreachable_fabric_gives_up(self):
+        cluster, client, server = make_connected_pair()
+        cluster.network.detach_lid(server.node.lid)  # permanent
+        proc = cluster.reconnect(client.qp, server.qp,
+                                 base_backoff_ns=1 * MS, max_attempts=3)
+        cluster.sim.run_until_idle()
+        assert proc.done
+        with pytest.raises(ReconnectError):
+            proc.result
+
+    def test_full_recovery_scenario(self):
+        # A fast-timeout device model keeps the simulated timeline tight:
+        # min_cack=10 with cack=1 gives a ~7.8 ms detection timeout.
+        profile = replace(CONNECTX4, min_cack=10)
+        result = run_recovery(RecoveryConfig(
+            seed=2, profile=profile, cack=1, retry_count=1,
+            flap_start_ns=1 * MS, flap_len_ns=60 * MS,
+            base_backoff_ns=1 * MS))
+        assert result.error_status == "IBV_WC_RETRY_EXC_ERR"
+        assert result.attempts >= 2  # the flap outlives early probes
+        config = result.config
+        assert result.flushed_cqes == config.inflight_at_failure - 1
+        assert set(result.flushed_statuses) == {"IBV_WC_WR_FLUSH_ERR"}
+        assert result.ops_completed_after == config.ops_after
+        assert result.invariant_violations == 0
+        assert result.downtime_ns >= result.reconnect_ns
+
+    def test_recovery_scenario_deterministic(self):
+        profile = replace(CONNECTX4, min_cack=10)
+        config = RecoveryConfig(
+            seed=4, profile=profile, cack=1, retry_count=1,
+            flap_start_ns=1 * MS, flap_len_ns=60 * MS,
+            base_backoff_ns=1 * MS)
+        a, b = run_recovery(config), run_recovery(config)
+        assert (a.detect_ns, a.reconnect_ns, a.attempts, a.downtime_ns) \
+            == (b.detect_ns, b.reconnect_ns, b.attempts, b.downtime_ns)
