@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry import Telemetry
 
 from repro.host.cluster import build_pair
 from repro.host.memory import PAGE_SIZE
@@ -93,6 +96,12 @@ class MicrobenchConfig:
     #: defaults on; it self-disables per QP pair whenever a capture tap
     #: or loss rule is armed for that traffic.
     coalesce: bool = True
+    #: Observability session to attach to the run's cluster (see
+    #: :mod:`repro.telemetry`).  None (the default) records nothing and
+    #: costs nothing; attaching never changes reported metrics.  Not a
+    #: reported field itself: results must stay ``asdict``-comparable.
+    telemetry: Optional["Telemetry"] = field(default=None, repr=False,
+                                             compare=False)
 
     @property
     def interval_ns(self) -> int:
@@ -173,6 +182,8 @@ def run_microbench(config: MicrobenchConfig,
                          profile=config.profile)
     if on_cluster is not None:
         on_cluster(cluster)
+    if config.telemetry is not None:
+        config.telemetry.attach(cluster)
     sim = cluster.sim
     client_node, server_node = cluster.nodes
     if not config.integrity:

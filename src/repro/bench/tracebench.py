@@ -1,0 +1,180 @@
+"""Telemetry overhead benchmark: enabled vs disabled wall clock.
+
+The telemetry subsystem promises two numbers: **zero** cost when
+disabled (components hold ``telemetry = None`` and a single None check
+is the whole hot-path footprint) and **≤5%** wall-clock overhead when a
+tracer is attached.  This bench wall-clocks fig09-shaped flood points —
+the deepest event streams the simulator produces — three ways per
+repeat, interleaved to cancel drift:
+
+* ``disabled`` — ``telemetry=None`` (the default everyone else runs);
+* ``enabled``  — a fresh :class:`~repro.telemetry.Telemetry` attached;
+* ``disabled`` again — the noise floor: how far apart two identical
+  disabled runs land on this machine.
+
+Reported per workload: best-of walls, the enabled overhead ratio, the
+disabled-vs-disabled noise delta, the traced event count, and whether
+the enabled run's reported metrics stayed bit-identical.
+
+Run ``python -m repro.bench.tracebench`` from the repo root; it writes
+``BENCH_telemetry.json``.  Use ``--smoke`` in CI for a seconds-long
+run, and ``--check BENCH_telemetry.json`` to fail when the measured
+enabled overhead exceeds 5%, the disabled noise delta exceeds 5%, or
+bit-identity breaks (the gates are ratios, so they are machine-
+independent; the committed file documents a reference machine).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.bench.microbench import run_microbench
+from repro.telemetry import Telemetry
+from repro.telemetry.smoke import _flood_config, _surface
+
+#: Flood shapes (see stormbench): ``smoke`` engages blind rounds, RNR
+#: storms, the status-engine backlog and the coalescer; ``full`` is the
+#: 50-QP tier the telemetry smoke gates also use.
+_WORKLOADS = {
+    "smoke": dict(num_qps=24, num_ops=288),
+    "full": dict(num_qps=50, num_ops=512),
+}
+
+#: --check gates.  The noise gate is deliberately as wide as the
+#: overhead gate: two identical disabled runs routinely land 3-4%
+#: apart on shared CI machines, and anything tighter just measures the
+#: scheduler.
+MAX_ENABLED_OVERHEAD = 0.05
+MAX_DISABLED_DELTA = 0.05
+
+
+def _trace_point(num_qps: int, num_ops: int, repeats: int,
+                 seed: int = 0) -> Dict[str, Any]:
+    """Wall-clock one flood point disabled/enabled/disabled."""
+    walls: Dict[str, List[float]] = {"disabled": [], "enabled": [],
+                                     "disabled_again": []}
+    baseline_metrics = enabled_metrics = None
+    events = 0
+    # Untimed warmup: the very first run pays import and allocator
+    # warmup that would otherwise land entirely on the first mode.
+    run_microbench(_flood_config(seed, num_qps=num_qps, num_ops=num_ops))
+    for _ in range(repeats):
+        for mode in ("disabled", "enabled", "disabled_again"):
+            tel = Telemetry(capacity=1 << 18) if mode == "enabled" else None
+            cfg = _flood_config(seed, num_qps=num_qps, num_ops=num_ops,
+                                telemetry=tel)
+            started = time.perf_counter()
+            result = run_microbench(cfg)
+            walls[mode].append(time.perf_counter() - started)
+            if mode == "disabled":
+                baseline_metrics = _surface(result)
+            elif mode == "enabled":
+                enabled_metrics = _surface(result)
+                events = len(tel.tracer)
+    # Pair each enabled wall with the two disabled walls bracketing it
+    # in the same repeat, so a burst of machine noise inflates both the
+    # numerator and the denominator; the median across repeats then
+    # shrugs off the one repeat a scheduler hiccup still skewed.
+    ratios, deltas = [], []
+    for dis, ena, dis2 in zip(walls["disabled"], walls["enabled"],
+                              walls["disabled_again"]):
+        bracket = (dis + dis2) / 2.0
+        ratios.append(ena / bracket)
+        deltas.append(abs(dis2 - dis) / bracket)
+    overhead = statistics.median(ratios) - 1.0
+    noise = statistics.median(deltas)
+    return {
+        "num_qps": num_qps,
+        "num_ops": num_ops,
+        "wall_disabled_s": round(min(walls["disabled"]), 4),
+        "wall_enabled_s": round(min(walls["enabled"]), 4),
+        "wall_disabled_again_s": round(min(walls["disabled_again"]), 4),
+        "enabled_overhead": round(overhead, 4),
+        "disabled_delta": round(noise, 4),
+        "events_traced": events,
+        "bit_identical": baseline_metrics == enabled_metrics,
+    }
+
+
+def run_bench(smoke: bool) -> Dict[str, Any]:
+    """Measure the smoke point, plus the 50-QP tier when not in smoke
+    mode."""
+    workloads = {"smoke": _trace_point(repeats=7, **_WORKLOADS["smoke"])}
+    if not smoke:
+        workloads["full"] = _trace_point(repeats=7, **_WORKLOADS["full"])
+    return workloads
+
+
+def check_report(report: Dict[str, Any], committed_path: str,
+                 max_enabled: float = MAX_ENABLED_OVERHEAD,
+                 max_disabled: float = MAX_DISABLED_DELTA) -> List[str]:
+    """Regression gate on the freshly measured report.
+
+    The gates are absolute ratios (machine-independent); the committed
+    baseline is read to ensure it parses and names the same workloads,
+    documenting the reference run next to the code.
+    """
+    with open(committed_path) as fh:
+        committed = json.load(fh)
+    failures: List[str] = []
+    for name, point in report["workloads"].items():
+        if not point["bit_identical"]:
+            failures.append(f"workload {name}: enabling telemetry changed "
+                            "reported metrics")
+        if point["enabled_overhead"] > max_enabled:
+            failures.append(
+                f"workload {name}: enabled overhead "
+                f"{point['enabled_overhead']:.1%} exceeds "
+                f"{max_enabled:.0%}")
+        if point["disabled_delta"] > max_disabled:
+            failures.append(
+                f"workload {name}: disabled-vs-disabled delta "
+                f"{point['disabled_delta']:.1%} exceeds {max_disabled:.0%} "
+                "(noisy machine or a regression on the None-check path)")
+        if name not in committed.get("workloads", {}):
+            failures.append(f"workload {name} missing from committed "
+                            f"baseline {committed_path}")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tracebench",
+        description="Benchmark telemetry enabled-vs-disabled overhead "
+                    "and write BENCH_telemetry.json.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run only the small flood point (CI sanity)")
+    parser.add_argument("--output", default="BENCH_telemetry.json",
+                        help="output path (default: ./BENCH_telemetry.json)")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="gate: exit 1 when enabled overhead >5%%, "
+                             "disabled delta >5%%, or bit-identity breaks")
+    args = parser.parse_args(argv)
+
+    report = {
+        "bench": "repro.bench.tracebench",
+        "mode": "smoke" if args.smoke else "full",
+        "python": sys.version.split()[0],
+        "workloads": run_bench(args.smoke),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    if args.check is not None:
+        failures = check_report(report, args.check)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("check passed: no regression against", args.check)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -131,6 +131,96 @@ def detect_flood(records: Sequence[CaptureRecord],
                        len(flooded_qps))
 
 
+@dataclass
+class CaptureSummary:
+    """Everything worth knowing about one capture, in one report.
+
+    ``dropped`` carries the sniffer's bounded-ring wrap count: a
+    summary computed over a wrapped capture says so explicitly instead
+    of silently presenting the surviving suffix as the whole story.
+    """
+
+    total_packets: int
+    #: records that fell off the front of a bounded sniffer ring (0 for
+    #: unbounded captures or raw record lists).
+    dropped: int
+    first_ns: int
+    last_ns: int
+    by_opcode: Dict[str, int] = field(default_factory=dict)
+    retransmissions: int = 0
+    rnr_naks: int = 0
+    seq_naks: int = 0
+    damming: Optional[DammingReport] = None
+    flood: Optional[FloodReport] = None
+
+    @property
+    def span_ns(self) -> int:
+        """Capture duration (first to last record)."""
+        return self.last_ns - self.first_ns
+
+    @property
+    def truncated(self) -> bool:
+        """True when the ring wrapped and history was lost."""
+        return self.dropped > 0
+
+    def render(self) -> str:
+        lines = [f"capture: {self.total_packets} packets over "
+                 f"{self.span_ns / 1e6:.3f} ms"]
+        if self.truncated:
+            lines.append(f"  WARNING: ring wrapped, oldest {self.dropped} "
+                         f"record(s) overwritten — totals below cover the "
+                         f"surviving window only")
+        lines.append(f"  retransmissions: {self.retransmissions}  "
+                     f"rnr_naks: {self.rnr_naks}  seq_naks: {self.seq_naks}")
+        for opcode, count in sorted(self.by_opcode.items()):
+            lines.append(f"  {opcode}: {count}")
+        if self.damming is not None and self.damming.detected:
+            lines.append(f"  damming: qp{self.damming.stalled_qpn} stalled "
+                         f"{self.damming.stall_ns / 1e6:.2f} ms from "
+                         f"{self.damming.stall_started_ns / 1e6:.2f} ms")
+        if self.flood is not None and self.flood.detected:
+            lines.append(f"  flood: {self.flood.qps_involved} QP(s), max "
+                         f"{self.flood.max_psn_repeats} repeats of one PSN, "
+                         f"{self.flood.retransmitted_requests} retransmitted "
+                         f"requests")
+        return "\n".join(lines)
+
+
+def summarize_capture(source, min_stall_ns: int = 20 * MS,
+                      min_repeats: int = 8,
+                      min_qps: int = 2) -> CaptureSummary:
+    """Summarise a capture: counts, per-opcode mix, pitfall detections.
+
+    ``source`` is a :class:`~repro.capture.sniffer.Sniffer` (its
+    ``dropped`` wrap counter is surfaced) or a plain record sequence.
+    """
+    dropped = getattr(source, "dropped", 0)
+    records = source.records if hasattr(source, "records") else list(source)
+    by_opcode: Counter = Counter()
+    retx = rnr = seq = 0
+    for record in records:
+        by_opcode[record.opcode.value] += 1
+        if record.retransmission:
+            retx += 1
+        if record.syndrome is Syndrome.RNR_NAK:
+            rnr += 1
+        elif record.syndrome is Syndrome.NAK_PSN_SEQ_ERR:
+            seq += 1
+    return CaptureSummary(
+        total_packets=len(records),
+        dropped=dropped,
+        first_ns=records[0].time_ns if records else 0,
+        last_ns=records[-1].time_ns if records else 0,
+        by_opcode=dict(by_opcode),
+        retransmissions=retx,
+        rnr_naks=rnr,
+        seq_naks=seq,
+        damming=detect_damming(records, min_stall_ns=min_stall_ns),
+        flood=detect_flood(records, min_repeats=min_repeats,
+                           min_qps=min_qps),
+    )
+
+
 def packets_per_ms(records: Sequence[CaptureRecord],
                    bucket_ms: float = 1.0) -> List[Tuple[float, int]]:
     """Time series of packet counts (for flood visualisation)."""

@@ -109,6 +109,48 @@ def _chaos(fast: bool, seed: int, jobs=None) -> str:
     return run_chaos_smoke(seed=seed, fast=fast)
 
 
+def _telemetry(fast: bool, seed: int, jobs=None) -> str:
+    # Raises TelemetrySmokeError on any gate failure, which main() lets
+    # propagate -> non-zero exit for CI.
+    from repro.telemetry.smoke import run_telemetry_smoke
+    return run_telemetry_smoke(seed=seed, fast=fast)
+
+
+def _counters(fast: bool, seed: int, jobs=None) -> str:
+    """Run the canonical damming point instrumented and print the
+    harvested hardware-style counter tree plus the diagnosis."""
+    from repro.bench.microbench import run_microbench
+    from repro.telemetry import Telemetry
+    from repro.telemetry.smoke import _damming_config
+    tel = Telemetry()
+    run_microbench(_damming_config(seed, telemetry=tel))
+    return (tel.counters().render() + "\n\n"
+            + tel.diagnose().render())
+
+
+def _trace(fast: bool, seed: int, jobs=None) -> str:
+    """Trace the canonical damming point and export both offline
+    formats: Perfetto JSON and an ibdump-style pcap (written to the
+    current directory)."""
+    from repro.bench.microbench import run_microbench
+    from repro.capture.sniffer import Sniffer
+    from repro.telemetry import Telemetry, export
+    from repro.telemetry.smoke import _damming_config
+    tel = Telemetry()
+    sniffers = []
+    run_microbench(
+        _damming_config(seed, telemetry=tel),
+        on_cluster=lambda cluster: sniffers.append(
+            Sniffer(cluster.network, synthetic_ok=True)))
+    json_path, pcap_path = "trace_fig04.json", "capture_fig04.pcap"
+    events = tel.write_chrome_trace(json_path)
+    frames = export.write_pcap(pcap_path, sniffers[0].records)
+    return (f"wrote {json_path} ({events} events; open in "
+            f"https://ui.perfetto.dev)\n"
+            f"wrote {pcap_path} ({frames} frames; wireshark-readable)\n\n"
+            + tel.diagnose().render())
+
+
 def _recovery(fast: bool, seed: int, jobs=None) -> str:
     from repro.bench.recovery import RecoveryConfig, run_recovery
     result = run_recovery(RecoveryConfig(seed=seed))
@@ -135,6 +177,9 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "tab13": _tab13,
     "chaos": _chaos,
     "recovery": _recovery,
+    "telemetry": _telemetry,
+    "counters": _counters,
+    "trace": _trace,
 }
 
 

@@ -76,7 +76,9 @@ def auto_chunksize(num_points: int, jobs: int) -> int:
 
 def sweep(fn: Callable[[Point], Result], points: Iterable[Point],
           processes: Optional[int] = None,
-          chunksize: Optional[int] = None) -> List[Result]:
+          chunksize: Optional[int] = None,
+          progress: Optional[Callable[[int, int], None]] = None
+          ) -> List[Result]:
     """Run ``fn`` over every point, in order, possibly across processes.
 
     Results come back in input order whatever the completion order, and
@@ -88,14 +90,34 @@ def sweep(fn: Callable[[Point], Result], points: Iterable[Point],
     single point, or ``REPRO_SERIAL=1`` short-circuit to the plain
     serial loop (no pool, no pickling).  ``chunksize=None`` picks
     :func:`auto_chunksize`; pass an explicit value to override.
+
+    ``progress``, when given, is called as ``progress(done, total)``
+    after each point's result is in hand — in input order on the serial
+    path and in ``pool.map``'s in-order delivery on the parallel path —
+    so long ``--jobs`` sweeps can report completion (e.g. as telemetry
+    instants via :meth:`repro.telemetry.Telemetry.progress`) without
+    changing results: the callback runs in the parent process and never
+    touches the points or their outputs.
     """
     todo = list(points)
     jobs = default_jobs() if processes is None else max(1, int(processes))
     jobs = min(jobs, len(todo))
+    total = len(todo)
     if jobs <= 1 or serial_forced():
-        return [fn(point) for point in todo]
+        results: List[Result] = []
+        for point in todo:
+            results.append(fn(point))
+            if progress is not None:
+                progress(len(results), total)
+        return results
     if chunksize is None:
         chunksize = auto_chunksize(len(todo), jobs)
     with ProcessPoolExecutor(max_workers=jobs,
                              initializer=_mark_worker) as pool:
-        return list(pool.map(fn, todo, chunksize=chunksize))
+        if progress is None:
+            return list(pool.map(fn, todo, chunksize=chunksize))
+        results = []
+        for result in pool.map(fn, todo, chunksize=chunksize):
+            results.append(result)
+            progress(len(results), total)
+        return results

@@ -43,6 +43,8 @@ class Driver:
         self._busy = False
         self.faults_served = 0
         self.invalidations = 0
+        #: Telemetry tracer handed over by ``Telemetry.attach``.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Fault path (NIC -> driver -> kernel -> NIC)
@@ -60,6 +62,8 @@ class Driver:
             return pending
         done = Future(label=f"fault:{self.name}:{page:#x}")
         self._pending[key] = done
+        if self.telemetry is not None:
+            self.telemetry.mark(("drvfault",) + key, self.sim.now)
         self._queue.append((rnic, mr, page))
         if not self._busy:
             self._serve_next()
@@ -87,6 +91,10 @@ class Driver:
         # NIC side: install the translation.
         rnic.translation.map_page(mr, page)
         self.faults_served += 1
+        if self.telemetry is not None:
+            self.telemetry.complete_mark(("drvfault", mr.handle, page),
+                                         self.sim.now, "odp.page_fault",
+                                         rnic.lid, -1, page)
         done = self._pending.pop((mr.handle, page))
         done.resolve(page)
         self._serve_next()

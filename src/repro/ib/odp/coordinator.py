@@ -141,6 +141,9 @@ class OdpCoordinator:
         self._stale.add(key)
         self._stale_by_qpn[qpn] = self._stale_by_qpn.get(qpn, 0) + 1
         self.client_faults += 1
+        tel = self.rnic.telemetry
+        if tel is not None:
+            tel.mark(("fault", qpn, mr.handle, page), self.sim.now)
         fresh = Future(label=f"fresh:{key}")
         self._fresh_futures[key] = fresh
         if self.rnic.translation.is_mapped(mr, page):
@@ -167,6 +170,11 @@ class OdpCoordinator:
         self._view.add(key)
         self._view_by_page.setdefault((key[1], key[2]), set()).add(key[0])
         self._fresh_futures.pop(key, None)
+        tel = self.rnic.telemetry
+        if tel is not None:
+            tel.complete_mark(("fault",) + key, self.sim.now,
+                              "odp.fault_resolved", self.rnic.lid, key[0],
+                              key[2])
         self._bump_view_gen()  # resolve transition: cached "not ready"
         fresh.resolve(key[2])  # verdicts for this QP/page are now stale
 

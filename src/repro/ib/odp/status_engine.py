@@ -61,6 +61,11 @@ class PageStatusEngine:
         #: Absolute time of the next scheduled state transition while
         #: busy (see :meth:`next_transition_at`); None when idle.
         self._next_complete_at: Optional[int] = None
+        #: Telemetry tracer handed over by ``Telemetry.attach`` (the
+        #: engine has no back-pointer to its RNIC, so the attach also
+        #: records the owning LID for event scoping).
+        self.telemetry = None
+        self.telemetry_lid = -1
 
     @property
     def backlog(self) -> int:
@@ -119,6 +124,11 @@ class PageStatusEngine:
     def _complete(self, item: ResumeItem) -> None:
         self.resumes_done += 1
         self.total_wait_ns += self.sim.now - item.enqueued_at
+        tel = self.telemetry
+        if tel is not None:
+            tel.complete(item.enqueued_at, self.sim.now - item.enqueued_at,
+                         "odp.status_update", self.telemetry_lid, item.qpn,
+                         item.page)
         item.callback()
         if self.transition_hook is not None:
             self.transition_hook()  # resolve transition

@@ -77,6 +77,11 @@ class Rnic:
         # instead of dispatching; resume replays the backlog in order.
         self._rx_paused = False
         self._rx_backlog: List[Packet] = []
+        #: Event tracer handed over by ``Telemetry.attach`` (None = off).
+        #: Transport hooks reach it via ``qp.rnic.telemetry``, so a
+        #: single None check is the entire disabled-mode cost and QPs
+        #: rebuilt by ``to_reset`` stay instrumented.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Tables

@@ -1211,8 +1211,22 @@ class StormCoalescer:
         resp._faulted_psns.add(head.first_psn)  # noqa: SLF001
         resp.rnr_naks_sent += 1
         server_stats["rnr_naks"] += 1
+        # Synthetic trace rows at exactly the timestamps the real round
+        # would have produced: _send_rnr_nak runs when the replayed head
+        # reaches the responder (req_disp[0]; the NAK packet itself is
+        # delayed further), _on_rnr_nak when the NAK lands (nak_at).
+        # quiet_until(span_end) above proves nothing else can interleave,
+        # so ring order matches the per-packet execution too.
+        peer_tel = peer_rnic.telemetry
+        if peer_tel is not None:
+            peer_tel.instant(req_disp[0], "rnr.nak_sent", peer_rnic.lid,
+                             qp.remote_qpn, head.first_psn)
         # ...then the RNR delay jitter when the NAK reaches the client.
         req.rnr_naks_received += 1
+        tel = rnic.telemetry
+        if tel is not None:
+            tel.instant(nak_at, "rnr.nak_recv", rnic.lid, qp.qpn,
+                        head.first_psn)
         from repro.ib.transport.requester import STATE_RNR_WAIT
         req.state = STATE_RNR_WAIT
         configured = (peer_qp.attrs.min_rnr_timer_ns

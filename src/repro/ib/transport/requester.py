@@ -122,6 +122,10 @@ class Requester:
             wqe = Wqe(wr, self.next_psn, packets, packets, 0, self.sim.now)
         self.next_psn = psn_add(self.next_psn, wqe.psn_span)
         self.wqes.append(wqe)
+        tel = self.qp.rnic.telemetry
+        if tel is not None:
+            tel.instant(self.sim.now, "wr.post", self.qp.rnic.lid,
+                        self.qp.qpn, wr.wr_id)
         self.qp.rnic.note_qp_active(self.qp)
         self._pump()
         self._ensure_timer()
@@ -402,6 +406,11 @@ class Requester:
 
     def _complete_wqe(self, wqe: Wqe, status: WcStatus) -> None:
         wqe.completed = True
+        tel = self.qp.rnic.telemetry
+        if tel is not None:
+            tel.complete(wqe.posted_at, self.sim.now - wqe.posted_at, "wr",
+                         self.qp.rnic.lid, self.qp.qpn, wqe.wr.wr_id,
+                         status.name)
         if wqe.wr.signaled or status.is_error:
             self.qp.send_cq.push(WorkCompletion(
                 wr_id=wqe.wr.wr_id,
@@ -423,6 +432,10 @@ class Requester:
 
     def _on_rnr_nak(self, packet: Packet) -> None:
         self.rnr_naks_received += 1
+        tel = self.qp.rnic.telemetry
+        if tel is not None:
+            tel.instant(self.sim.now, "rnr.nak_recv", self.qp.rnic.lid,
+                        self.qp.qpn, packet.psn)
         if self.state == STATE_RNR_WAIT:
             return  # already waiting
         rnr_retry = self.qp.attrs.rnr_retry
@@ -443,6 +456,12 @@ class Requester:
         if self.state != STATE_RNR_WAIT:
             return
         self.state = STATE_NORMAL
+        # Traced before the coalesce decision: this tick fires at the
+        # same timestamp whether the round is replayed or synthesised.
+        tel = self.qp.rnic.telemetry
+        if tel is not None:
+            tel.instant(self.sim.now, "storm.rnr_round", self.qp.rnic.lid,
+                        self.qp.qpn, self.rnr_naks_received)
         if self.qp.coalescer.coalesce_rnr_round():
             return  # the whole replay->NAK->RNR_WAIT cycle was synthesised
         self._retransmit_from_oldest()
@@ -498,6 +517,11 @@ class Requester:
         if self.state != STATE_ODP_WAIT:
             return
         self.blind_retransmit_rounds += 1
+        # Traced before the coalesce decision (see _rnr_recover).
+        tel = self.qp.rnic.telemetry
+        if tel is not None:
+            tel.instant(self.sim.now, "storm.blind_round", self.qp.rnic.lid,
+                        self.qp.qpn, self.blind_retransmit_rounds)
         if not self.qp.coalescer.coalesce_blind_round():
             self._retransmit_from_oldest()
         self._blind_timer = self.sim.schedule_timer(self._blind_period_ns(),
@@ -592,6 +616,10 @@ class Requester:
         # it so the benchmarks can attribute the skipped simulated time.
         self.qp.coalescer.note_stall(self.sim.now - self._timer_armed_at)
         self.timeouts += 1
+        tel = self.qp.rnic.telemetry
+        if tel is not None:
+            tel.instant(self.sim.now, "timeout.local_ack", self.qp.rnic.lid,
+                        self.qp.qpn, self.sim.now - self._timer_armed_at)
         self.retry_used += 1
         if self.retry_used > self.qp.attrs.retry_count:
             self._fatal(WcStatus.RETRY_EXC_ERR)

@@ -113,6 +113,13 @@ class Responder:
             # "unseen" for later bursts and the dam holds).
             self.flaw_drops += 1
             self.qp.rnic.stats["flaw_drops"] += 1
+            # ``b`` carries the victim's (client's) QPN so the diagnosis
+            # engine can corroborate a stall without fabric knowledge.
+            tel = self.qp.rnic.telemetry
+            if tel is not None:
+                tel.instant(self.sim.now, "damming.flaw_drop",
+                            self.qp.rnic.lid, self.qp.qpn, packet.psn,
+                            self.qp.remote_qpn)
             return
         self._note_seen(packet.psn)
         if diff == 0:
@@ -333,6 +340,10 @@ class Responder:
         self._seq_nak_outstanding = True
         self.seq_naks_sent += 1
         self.qp.rnic.stats["seq_naks"] += 1
+        tel = self.qp.rnic.telemetry
+        if tel is not None:
+            tel.instant(self.sim.now, "nak.out_of_sequence",
+                        self.qp.rnic.lid, self.qp.qpn, self.epsn)
         self._send_response(Opcode.ACKNOWLEDGE, self.epsn, None,
                             aeth=Aeth.of(Syndrome.NAK_PSN_SEQ_ERR, self.msn))
 
@@ -369,6 +380,10 @@ class Responder:
     def _send_rnr_nak(self, psn: int, fault: bool = True) -> None:
         self.rnr_naks_sent += 1
         self.qp.rnic.stats["rnr_naks"] += 1
+        tel = self.qp.rnic.telemetry
+        if tel is not None:
+            tel.instant(self.sim.now, "rnr.nak_sent", self.qp.rnic.lid,
+                        self.qp.qpn, psn)
         aeth = Aeth.of(Syndrome.RNR_NAK, self.msn,
                        rnr_timer_ns=self.qp.attrs.min_rnr_timer_ns)
         if fault:

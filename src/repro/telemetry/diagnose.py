@@ -1,0 +1,244 @@
+"""Automated pitfall diagnosis from counters and traces alone.
+
+The paper needed ibdump captures and hand-read per-QP timing to identify
+its two ODP pathologies; this engine reproduces that reasoning over the
+telemetry stream, with no access to simulator internals:
+
+* **Packet damming** (Section V): a victim QP goes completely silent for
+  a transport-timeout-scale window and the silence ends in a Local ACK
+  Timeout, while the peer's responder logged silent flaw drops against
+  that QP inside the window — the silent-drop + full ``C_ACK`` stall
+  signature.  Consecutive stalls on one QP whose gaps contain no other
+  activity merge into a single episode (a dam that survives a retry).
+
+* **Packet flood** (Section VI): a QP ticks blind retransmission rounds
+  at the device's sustained ~0.5 ms cadence (stretching with the number
+  of stale QPs) while page-status updates lag — detected as ≥
+  ``min_rounds`` blind-round instants per QP overlapping at least one
+  page-status-update span that took several retransmit periods to
+  complete ("update failure of page statuses").
+
+Each detection reports start, duration and the victim QP set, and is
+validated against fig04/fig09 ground truth by the test suite (including
+zero false positives on pinned-memory baselines, where none of the
+trigger events can exist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.sim.timebase import MS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.trace import EventTracer
+
+_INSTANT = -1
+
+#: How far before a stall's start a corroborating flaw drop may sit: the
+#: drop happens at the server one fabric traversal before the victim's
+#: last observed activity (the completion of the op ahead of the dam).
+_FLAW_SLACK_NS = 5 * MS
+
+
+@dataclass
+class DammingEpisode:
+    """One detected dam: a silent, flaw-drop-corroborated C_ACK stall."""
+
+    lid: int
+    victim_qpn: int
+    start_ns: int
+    duration_ns: int
+    #: Local ACK Timeouts the dam consumed (>1 when retries re-dammed).
+    timeouts: int = 1
+    #: corroborating silent drops logged by the peer inside the window.
+    flaw_drops: int = 0
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.duration_ns
+
+    def describe(self) -> str:
+        return (f"damming: lid{self.lid} qp{self.victim_qpn} stalled "
+                f"{self.duration_ns / 1e6:.2f} ms from "
+                f"{self.start_ns / 1e6:.2f} ms "
+                f"({self.timeouts} timeout(s), "
+                f"{self.flaw_drops} silent drop(s))")
+
+
+@dataclass
+class FloodEpisode:
+    """One detected flood: sustained blind retransmission across QPs."""
+
+    start_ns: int
+    end_ns: int
+    #: (lid, qpn) of every QP with a sustained blind-retransmit cadence.
+    victims: Tuple[Tuple[int, int], ...] = ()
+    #: total blind rounds ticked inside the episode.
+    rounds: int = 0
+    #: mean inter-round period over all victims (the ~0.5 ms/QP cadence,
+    #: stretched when many QPs are stale).
+    mean_period_ns: int = 0
+    #: longest page-status-update span overlapping the episode.
+    max_status_lag_ns: int = 0
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def victim_qpns(self, lid: int) -> List[int]:
+        """Victim QPNs on one RNIC."""
+        return sorted(qpn for vlid, qpn in self.victims if vlid == lid)
+
+    def describe(self) -> str:
+        return (f"flood: {len(self.victims)} QP(s) blind-retransmitting "
+                f"every ~{self.mean_period_ns / 1e6:.2f} ms for "
+                f"{self.duration_ns / 1e6:.2f} ms from "
+                f"{self.start_ns / 1e6:.2f} ms ({self.rounds} rounds, "
+                f"status updates lagging up to "
+                f"{self.max_status_lag_ns / 1e6:.2f} ms)")
+
+
+@dataclass
+class Diagnosis:
+    """Everything the engine concluded from one telemetry stream."""
+
+    damming: List[DammingEpisode] = field(default_factory=list)
+    flood: List[FloodEpisode] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when neither pathology was detected."""
+        return not self.damming and not self.flood
+
+    def render(self) -> str:
+        if self.clean:
+            return "diagnosis: no damming or flood episodes detected"
+        lines = []
+        for episode in self.damming:
+            lines.append(episode.describe())
+        for episode in self.flood:
+            lines.append(episode.describe())
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+
+
+def _scope_activity(rows) -> Dict[Tuple[int, int], List[int]]:
+    """Every event timestamp per (lid, qpn): instants plus span edges."""
+    activity: Dict[Tuple[int, int], List[int]] = {}
+    for time_ns, dur_ns, _kind, lid, qpn, _a, _b in rows:
+        if qpn < 0:
+            continue
+        times = activity.setdefault((lid, qpn), [])
+        times.append(time_ns)
+        if dur_ns != _INSTANT:
+            times.append(time_ns + dur_ns)
+    for times in activity.values():
+        times.sort()
+    return activity
+
+
+def _bisect_before(times: List[int], t: int) -> int:
+    """Largest value strictly below ``t`` in sorted ``times`` (-1: none)."""
+    lo, hi = 0, len(times)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if times[mid] < t:
+            lo = mid + 1
+        else:
+            hi = mid
+    return times[lo - 1] if lo else -1
+
+
+def detect_damming_episodes(tracer: "EventTracer",
+                            min_stall_ns: int = 20 * MS
+                            ) -> List[DammingEpisode]:
+    """Damming: silent stalls ending in a timeout, corroborated by silent
+    flaw drops the peer logged against the victim inside the window."""
+    rows = tracer.rows()
+    activity = _scope_activity(rows)
+    # Flaw drops indexed by the *client* QPN they victimised (carried in
+    # the instant's ``b`` argument; the event itself is scoped to the
+    # responder's own lid/qpn).
+    drops_by_victim: Dict[int, List[int]] = {}
+    for time_ns, dur_ns, kind, _lid, _qpn, _a, b in rows:
+        if dur_ns == _INSTANT and kind == "damming.flaw_drop":
+            drops_by_victim.setdefault(b, []).append(time_ns)
+    raw: List[DammingEpisode] = []
+    for time_ns, dur_ns, kind, lid, qpn, a, _b in rows:
+        if dur_ns != _INSTANT or kind != "timeout.local_ack":
+            continue
+        last = _bisect_before(activity.get((lid, qpn), []), time_ns)
+        start = last if last >= 0 else time_ns - a
+        duration = time_ns - start
+        if duration < min_stall_ns:
+            continue
+        drops = [t for t in drops_by_victim.get(qpn, ())
+                 if start - _FLAW_SLACK_NS <= t <= time_ns]
+        if not drops:
+            continue
+        raw.append(DammingEpisode(lid, qpn, start, duration,
+                                  timeouts=1, flaw_drops=len(drops)))
+    # Merge back-to-back stalls of one victim (a retry that re-dammed
+    # starts its next silent window exactly at the previous timeout).
+    raw.sort(key=lambda e: (e.lid, e.victim_qpn, e.start_ns))
+    merged: List[DammingEpisode] = []
+    for episode in raw:
+        prev = merged[-1] if merged else None
+        if prev is not None and prev.lid == episode.lid \
+                and prev.victim_qpn == episode.victim_qpn \
+                and episode.start_ns <= prev.end_ns:
+            prev.duration_ns = episode.end_ns - prev.start_ns
+            prev.timeouts += episode.timeouts
+            prev.flaw_drops = max(prev.flaw_drops, episode.flaw_drops)
+        else:
+            merged.append(episode)
+    return merged
+
+
+def detect_flood_episodes(tracer: "EventTracer",
+                          min_rounds: int = 3) -> List[FloodEpisode]:
+    """Flood: sustained blind-retransmit cadence with lagging status
+    updates."""
+    rows = tracer.rows()
+    ticks: Dict[Tuple[int, int], List[int]] = {}
+    status_spans: List[Tuple[int, int]] = []  # (start, dur)
+    for time_ns, dur_ns, kind, lid, qpn, _a, _b in rows:
+        if dur_ns == _INSTANT:
+            if kind == "storm.blind_round":
+                ticks.setdefault((lid, qpn), []).append(time_ns)
+        elif kind == "odp.status_update":
+            status_spans.append((time_ns, dur_ns))
+    victims = {scope: times for scope, times in ticks.items()
+               if len(times) >= min_rounds}
+    if not victims:
+        return []
+    start = min(times[0] for times in victims.values())
+    end = max(times[-1] for times in victims.values())
+    rounds = sum(len(times) for times in victims.values())
+    gap_total = sum(times[-1] - times[0] for times in victims.values())
+    gap_count = sum(len(times) - 1 for times in victims.values())
+    mean_period = gap_total // gap_count if gap_count else 0
+    # "Lagging page-status transitions": at least one status update
+    # overlapping the window took several retransmit periods — the
+    # update failure that keeps victims blind-retransmitting.
+    lag_floor = 2 * mean_period
+    max_lag = 0
+    for span_start, dur in status_spans:
+        if span_start <= end and span_start + dur >= start:
+            max_lag = max(max_lag, dur)
+    if max_lag < lag_floor:
+        return []
+    return [FloodEpisode(start, end, tuple(sorted(victims)), rounds,
+                         mean_period, max_lag)]
+
+
+def diagnose(tracer: "EventTracer", min_stall_ns: int = 20 * MS,
+             min_rounds: int = 3) -> Diagnosis:
+    """Run both detectors over one telemetry stream."""
+    return Diagnosis(
+        damming=detect_damming_episodes(tracer, min_stall_ns=min_stall_ns),
+        flood=detect_flood_episodes(tracer, min_rounds=min_rounds))

@@ -1,0 +1,223 @@
+"""Exporters: Chrome/Perfetto trace JSON and ibdump-compatible pcap.
+
+Two offline-inspection formats:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` render an
+  :class:`~repro.telemetry.trace.EventTracer` stream as Chrome
+  trace-event JSON (loadable in Perfetto UI / ``chrome://tracing``).
+  Each RNIC becomes a process (pid = LID), each QP a thread (tid =
+  QPN); spans are ``ph:"X"`` complete events, instants ``ph:"i"``.
+
+* :func:`write_pcap` serialises sniffer captures into a pcap file the
+  way ``ibdump`` produces them: nanosecond-resolution pcap with
+  ``LINKTYPE_INFINIBAND`` frames, each packet re-synthesised as
+  LRH + BTH (+ RETH/AETH where the opcode carries one) + zero payload
+  + ICRC placeholder.  Wireshark's InfiniBand dissector reads the
+  result; payload *bytes* are zeros (the simulator's capture rows keep
+  sizes, not data), but opcodes, QPNs, PSNs and NAK syndromes — all the
+  paper's reverse-engineering ever needed — are exact.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+from repro.ib.opcodes import Opcode, Syndrome
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.trace import EventTracer
+
+# ----------------------------------------------------------------------
+# Chrome trace-event / Perfetto JSON
+# ----------------------------------------------------------------------
+
+
+def chrome_trace(tracer: "EventTracer",
+                 counters: Optional[Dict[str, int]] = None) -> dict:
+    """Render the tracer's stream as a Chrome trace-event document."""
+    events: List[dict] = []
+    seen_pids: Dict[int, None] = {}
+    for row in tracer.rows():
+        time_ns, dur_ns, kind, lid, qpn, a, b = row
+        seen_pids.setdefault(lid)
+        event = {
+            "name": kind,
+            "cat": kind.split(".", 1)[0],
+            "ts": time_ns / 1000.0,          # microseconds
+            "pid": lid,
+            "tid": qpn if qpn >= 0 else 0,
+            "args": {"a": a, "b": b},
+        }
+        if dur_ns == -1:
+            event["ph"] = "i"
+            event["s"] = "t"                 # thread-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = dur_ns / 1000.0
+        events.append(event)
+    for pid in seen_pids:
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "args": {"name": f"rnic{pid}"}})
+    doc = {"traceEvents": events, "displayTimeUnit": "ns"}
+    if tracer.dropped:
+        doc["droppedEvents"] = tracer.dropped
+    if counters:
+        doc["counters"] = counters
+    return doc
+
+
+def write_chrome_trace(path: str, tracer: "EventTracer",
+                       counters: Optional[Dict[str, int]] = None) -> int:
+    """Write :func:`chrome_trace` JSON to ``path``; returns event count."""
+    doc = chrome_trace(tracer, counters)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+        fh.write("\n")
+    return len(doc["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# pcap (ibdump-compatible)
+# ----------------------------------------------------------------------
+
+#: https://www.tcpdump.org/linktypes.html
+LINKTYPE_INFINIBAND = 247
+#: Nanosecond-resolution pcap magic.
+PCAP_MAGIC_NS = 0xA1B23C4D
+
+#: IBA BTH opcode encodings for the RC service class.
+_OPCODE_CODE: Dict[Opcode, int] = {
+    Opcode.SEND_FIRST: 0x00,
+    Opcode.SEND_MIDDLE: 0x01,
+    Opcode.SEND_LAST: 0x02,
+    Opcode.SEND_ONLY: 0x04,
+    Opcode.RDMA_WRITE_FIRST: 0x06,
+    Opcode.RDMA_WRITE_MIDDLE: 0x07,
+    Opcode.RDMA_WRITE_LAST: 0x08,
+    Opcode.RDMA_WRITE_ONLY: 0x0A,
+    Opcode.RDMA_READ_REQUEST: 0x0C,
+    Opcode.RDMA_READ_RESPONSE_FIRST: 0x0D,
+    Opcode.RDMA_READ_RESPONSE_MIDDLE: 0x0E,
+    Opcode.RDMA_READ_RESPONSE_LAST: 0x0F,
+    Opcode.RDMA_READ_RESPONSE_ONLY: 0x10,
+    Opcode.ACKNOWLEDGE: 0x11,
+    Opcode.ATOMIC_ACKNOWLEDGE: 0x12,
+    Opcode.COMPARE_SWAP: 0x13,
+    Opcode.FETCH_ADD: 0x14,
+}
+
+#: Opcodes whose BTH is followed by a RETH (16 bytes).
+_RETH_OPCODES = {Opcode.RDMA_READ_REQUEST, Opcode.RDMA_WRITE_FIRST,
+                 Opcode.RDMA_WRITE_ONLY}
+#: Opcodes whose BTH is followed by an AtomicETH (28 bytes).
+_ATOMIC_ETH_OPCODES = {Opcode.COMPARE_SWAP, Opcode.FETCH_ADD}
+#: Opcodes carrying an AETH (4 bytes).
+_AETH_OPCODES = {Opcode.ACKNOWLEDGE, Opcode.ATOMIC_ACKNOWLEDGE,
+                 Opcode.RDMA_READ_RESPONSE_FIRST,
+                 Opcode.RDMA_READ_RESPONSE_LAST,
+                 Opcode.RDMA_READ_RESPONSE_ONLY}
+
+#: AETH syndrome byte per IBA 9.7.5.1 (RNR NAK carries the timer code in
+#: its low 5 bits; we encode code 0 — the value is advisory on replay).
+_SYNDROME_BYTE: Dict[Optional[Syndrome], int] = {
+    None: 0x00,
+    Syndrome.ACK: 0x00,
+    Syndrome.RNR_NAK: 0x20,
+    Syndrome.NAK_PSN_SEQ_ERR: 0x60,
+    Syndrome.NAK_INVALID_REQUEST: 0x61,
+    Syndrome.NAK_REMOTE_ACCESS_ERR: 0x62,
+    Syndrome.NAK_REMOTE_OP_ERR: 0x63,
+}
+
+LRH_BYTES = 8
+BTH_BYTES = 12
+ICRC_BYTES = 4
+
+
+def packet_bytes(record) -> bytes:
+    """Synthesise the on-wire bytes of one capture record.
+
+    ``record`` is a :class:`~repro.capture.sniffer.CaptureRecord` (or
+    anything with the same attributes).  Returns an IBA local packet:
+    LRH, BTH, the opcode's extension header (zeroed addresses — the
+    capture keeps none), a zero payload of the recorded size padded to
+    4 bytes, and a zero ICRC placeholder.
+    """
+    opcode = record.opcode
+    code = _OPCODE_CODE[opcode]
+    payload_len = record.payload_size
+    pad = (-payload_len) % 4
+    ext = b""
+    if opcode in _RETH_OPCODES:
+        ext = bytes(16)
+    elif opcode in _ATOMIC_ETH_OPCODES:
+        ext = bytes(28)
+    elif opcode in _AETH_OPCODES:
+        syndrome = _SYNDROME_BYTE.get(record.syndrome, 0x60)
+        ext = struct.pack(">B3s", syndrome, bytes(3))  # syndrome + MSN
+        if opcode is Opcode.ATOMIC_ACKNOWLEDGE:
+            ext += bytes(8)                            # AtomicAckETH
+    total = (LRH_BYTES + BTH_BYTES + len(ext) + payload_len + pad
+             + ICRC_BYTES)
+    # LRH: VL/LVer, SL/LNH (2 = IBA local, BTH next), DLID, length in
+    # 4-byte words, SLID.
+    lrh = struct.pack(">BBHHH", 0x00, 0x02, record.dst_lid & 0xFFFF,
+                      (total // 4) & 0x07FF, record.src_lid & 0xFFFF)
+    # BTH: opcode, SE/M/Pad/TVer, P_Key, rsvd, DestQP, A/rsvd, PSN.
+    bth = struct.pack(">BBHB3sB3s", code, (pad & 0x3) << 4, 0xFFFF, 0,
+                      (record.dst_qpn & 0xFFFFFF).to_bytes(3, "big"),
+                      0x00, (record.psn & 0xFFFFFF).to_bytes(3, "big"))
+    return lrh + bth + ext + bytes(payload_len + pad) + bytes(ICRC_BYTES)
+
+
+def pcap_bytes(records: Sequence) -> bytes:
+    """Serialise capture records into a nanosecond-pcap byte string."""
+    out = [struct.pack("<IHHiIII", PCAP_MAGIC_NS, 2, 4, 0, 0, 65535,
+                       LINKTYPE_INFINIBAND)]
+    for record in records:
+        frame = packet_bytes(record)
+        ts_sec, ts_nsec = divmod(record.time_ns, 1_000_000_000)
+        out.append(struct.pack("<IIII", ts_sec, ts_nsec,
+                               len(frame), len(frame)))
+        out.append(frame)
+    return b"".join(out)
+
+
+def write_pcap(path: str, records: Sequence) -> int:
+    """Write records (e.g. ``sniffer.records``) as pcap; returns count."""
+    with open(path, "wb") as fh:
+        fh.write(pcap_bytes(records))
+    return len(records)
+
+
+def read_pcap_header(data: bytes) -> dict:
+    """Parse a pcap global header (validation helper for tests/CI)."""
+    if len(data) < 24:
+        raise ValueError("truncated pcap: no global header")
+    magic, major, minor, _tz, _sig, snaplen, network = struct.unpack(
+        "<IHHiIII", data[:24])
+    if magic != PCAP_MAGIC_NS:
+        raise ValueError(f"bad pcap magic {magic:#x} "
+                         f"(expected nanosecond magic {PCAP_MAGIC_NS:#x})")
+    return {"magic": magic, "version": (major, minor), "snaplen": snaplen,
+            "network": network}
+
+
+def iter_pcap_records(data: bytes) -> Iterable[dict]:
+    """Yield ``{ts_ns, incl_len, frame}`` per pcap record (tests/CI)."""
+    read_pcap_header(data)
+    offset = 24
+    while offset < len(data):
+        if offset + 16 > len(data):
+            raise ValueError("truncated pcap record header")
+        ts_sec, ts_nsec, incl, orig = struct.unpack(
+            "<IIII", data[offset:offset + 16])
+        offset += 16
+        if offset + incl > len(data):
+            raise ValueError("truncated pcap record body")
+        yield {"ts_ns": ts_sec * 1_000_000_000 + ts_nsec,
+               "incl_len": incl, "orig_len": orig,
+               "frame": data[offset:offset + incl]}
+        offset += incl

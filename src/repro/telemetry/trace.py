@@ -1,0 +1,199 @@
+"""The bounded-ring event tracer.
+
+Telemetry's time-series half: a fixed-capacity ring of raw event tuples,
+written by guarded hooks inside the transport machines, the ODP engines
+and the driver.  Two event shapes exist:
+
+* **instants** — a point in simulated time (a blind-retransmit tick, an
+  RNR NAK, a transport timeout, a flaw drop);
+* **spans** — an interval with a duration (a WR's post-to-completion
+  lifetime, a page fault's raise-to-resolution, a page-status update's
+  enqueue-to-complete wait).
+
+The hot path mirrors :class:`repro.capture.sniffer.Sniffer`: one raw
+tuple into a preallocated slot, no object construction, no allocation in
+steady state.  When the ring is full the oldest events are overwritten
+and counted in :attr:`EventTracer.dropped` — never silently.
+
+Instrumentation sites are restricted to *per-round* and *per-operation*
+events (never per-packet), and are chosen so that their timestamps are
+provably identical whether storm coalescing is on or off: tick handlers
+that fire in both modes, plus synthetic rows emitted by the coalescer at
+exactly the timestamps the real round would have produced.
+:meth:`EventTracer.fingerprint` hashes the whole stream so tests can
+enforce that equivalence bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Slot-growth increment for unbounded-ish capacities (same idiom as the
+#: sniffer): preallocate in chunks so steady-state tracing never
+#: allocates per event.
+_CHUNK = 4096
+
+#: Sentinel duration marking an instant event in the raw tuple layout.
+_INSTANT = -1
+
+
+@dataclass
+class TraceEvent:
+    """One materialised trace event (lazy; the ring stores raw tuples).
+
+    ``dur_ns`` is ``None`` for instants.  ``a`` and ``b`` are small
+    per-kind arguments (PSN, WR id, page index, peer QPN, ...).
+    """
+
+    time_ns: int
+    dur_ns: Optional[int]
+    kind: str
+    lid: int
+    qpn: int
+    a: object = 0
+    b: object = 0
+
+    @property
+    def is_span(self) -> bool:
+        """True for duration events."""
+        return self.dur_ns is not None
+
+    @property
+    def end_ns(self) -> int:
+        """Span end (== ``time_ns`` for instants)."""
+        return self.time_ns + (self.dur_ns or 0)
+
+    def describe(self) -> str:
+        """One printable line."""
+        when = f"{self.time_ns / 1e6:10.4f} ms"
+        scope = f"lid{self.lid}" + (f" qp{self.qpn}" if self.qpn >= 0 else "")
+        if self.is_span:
+            return (f"{when}  {scope:<12} {self.kind} "
+                    f"dur={self.dur_ns / 1e6:.4f} ms a={self.a} b={self.b}")
+        return f"{when}  {scope:<12} {self.kind} a={self.a} b={self.b}"
+
+
+class EventTracer:
+    """Fixed-capacity ring of typed spans and instants.
+
+    Raw tuple layout: ``(time_ns, dur_ns, kind, lid, qpn, a, b)`` with
+    ``dur_ns == -1`` flagging an instant.  Events are appended in
+    simulation order for instants and in *completion* order for spans
+    (a span is only known when it ends), which keeps the ring identical
+    between coalesced and per-packet executions of the same run.
+    """
+
+    def __init__(self, capacity: int = 1 << 16):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        #: Events that fell off the front of the ring.
+        self.dropped = 0
+        self._slots: List[Optional[Tuple]] = []
+        self._count = 0
+        self._start = 0
+        self._version = 0
+        self._cache: Optional[List[TraceEvent]] = None
+        self._cache_version = -1
+        #: open span marks: key -> start time (see :meth:`mark`).
+        self._marks: Dict[object, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (the hot path)
+    # ------------------------------------------------------------------
+
+    def _append(self, row: Tuple) -> None:
+        capacity = self.capacity
+        if self._count >= capacity:
+            slots = self._slots
+            if len(slots) < capacity:
+                slots.extend([None] * (capacity - len(slots)))
+            slots[self._start] = row
+            self._start = (self._start + 1) % capacity
+            self.dropped += 1
+        else:
+            index = self._count
+            slots = self._slots
+            if index >= len(slots):
+                slots.extend([None] * max(min(_CHUNK, capacity), 1))
+            slots[index] = row
+            self._count = index + 1
+        self._version += 1
+
+    def instant(self, time_ns: int, kind: str, lid: int, qpn: int,
+                a: object = 0, b: object = 0) -> None:
+        """Record a point event."""
+        self._append((time_ns, _INSTANT, kind, lid, qpn, a, b))
+
+    def complete(self, start_ns: int, dur_ns: int, kind: str, lid: int,
+                 qpn: int, a: object = 0, b: object = 0) -> None:
+        """Record a finished span of ``dur_ns`` starting at ``start_ns``."""
+        self._append((start_ns, dur_ns, kind, lid, qpn, a, b))
+
+    def mark(self, key: object, time_ns: int) -> None:
+        """Open a span under ``key`` (idempotent: first mark wins)."""
+        if key not in self._marks:
+            self._marks[key] = time_ns
+
+    def complete_mark(self, key: object, end_ns: int, kind: str, lid: int,
+                      qpn: int, a: object = 0, b: object = 0) -> None:
+        """Close the span opened under ``key``; no-op when unknown."""
+        start = self._marks.pop(key, None)
+        if start is not None:
+            self._append((start, end_ns - start, kind, lid, qpn, a, b))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def rows(self) -> List[Tuple]:
+        """Held raw rows, oldest first."""
+        count = self._count
+        if self.dropped:
+            start = self._start
+            ring = self._slots[:self.capacity]
+            return ring[start:count] + ring[:start]
+        return self._slots[:count]
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Held events as :class:`TraceEvent` objects (lazy, cached)."""
+        if self._cache is None or self._cache_version != self._version:
+            self._cache = [
+                TraceEvent(row[0], None if row[1] == _INSTANT else row[1],
+                           row[2], row[3], row[4], row[5], row[6])
+                for row in self.rows()]
+            self._cache_version = self._version
+        return self._cache
+
+    def __len__(self) -> int:
+        return self._count
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """Held events, optionally filtered by kind (raw rows only)."""
+        if kind is None:
+            return self._count
+        return sum(1 for row in self.rows() if row[2] == kind)
+
+    def clear(self) -> None:
+        """Drop everything recorded so far (open marks included)."""
+        self._count = 0
+        self._start = 0
+        self.dropped = 0
+        self._marks.clear()
+        self._version += 1
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the exact event stream (plus the drop count).
+
+        Two runs with the same fingerprint recorded bit-identical event
+        sequences — the equivalence the storm coalescer's synthetic rows
+        must preserve, enforced by tests with coalescing on vs off.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"dropped={self.dropped}".encode())
+        for row in self.rows():
+            digest.update(repr(row).encode())
+        return digest.hexdigest()

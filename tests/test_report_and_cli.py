@@ -74,7 +74,8 @@ class TestCli:
     def test_all_experiments_registered(self):
         expected = {"tables", "fig01", "fig02", "fig04", "fig05", "fig06",
                     "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
-                    "tab13", "chaos", "recovery"}
+                    "tab13", "chaos", "recovery", "telemetry", "counters",
+                    "trace"}
         assert set(EXPERIMENTS) == expected
 
     def test_run_tables(self, capsys):
