@@ -17,7 +17,11 @@ The baseline is a frozen copy of the seed engine (object-comparison
 heap, no compaction, no wheel) so speedups stay measurable across PRs.
 Run ``python -m repro.bench.enginebench`` from the repo root; it writes
 ``BENCH_engine.json`` (see the README's Performance section).  Use
-``--smoke`` in CI for a seconds-long sanity run.
+``--smoke`` in CI for a seconds-long sanity run, and ``--check
+BENCH_engine.json`` to fail when a freshly measured speedup drops below
+half the committed one (speedup ratios are machine-independent; raw
+event rates are not, and engine-scale runs on shared CI hardware are
+noisy, hence the wide gate).
 """
 
 from __future__ import annotations
@@ -197,6 +201,46 @@ def run_bench(total: int, repeats: int = 3) -> Dict[str, Any]:
     return results
 
 
+#: The machine-independent ratios the regression gate compares.
+_CHECKED_RATIOS = (("dispatch", "speedup"),
+                   ("cancel_heavy", "speedup_heap"),
+                   ("cancel_heavy", "speedup_wheel"))
+
+
+def check_report(report: Dict[str, Any], committed_path: str,
+                 tolerance: float = 0.5) -> List[str]:
+    """Regression gate: compare ``report`` to the committed baseline.
+
+    Each speedup ratio must stay above ``tolerance`` x the committed
+    value.  A ratio missing from either side is reported by name rather
+    than crashing, so a schema drift (or pointing ``--check`` at the
+    wrong BENCH file) fails loudly instead of with a KeyError.
+    """
+    with open(committed_path) as fh:
+        committed = json.load(fh)
+    failures: List[str] = []
+    measured = report.get("workloads") or {}
+    baseline = committed.get("workloads") or {}
+    for workload, key in _CHECKED_RATIOS:
+        mine = measured.get(workload, {}).get(key)
+        theirs = baseline.get(workload, {}).get(key)
+        if theirs is None:
+            failures.append(f"{workload}.{key}: missing from committed "
+                            f"baseline {committed_path} (wrong or "
+                            "outdated file?)")
+            continue
+        if mine is None:
+            failures.append(f"{workload}.{key}: missing from the "
+                            "measured report")
+            continue
+        floor = theirs * tolerance
+        if mine < floor:
+            failures.append(
+                f"{workload}.{key}: measured {mine}x is below "
+                f"{floor:.2f}x ({tolerance:.0%} of committed {theirs}x)")
+    return failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="enginebench",
@@ -208,6 +252,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="events per workload run (overrides --smoke)")
     parser.add_argument("--output", default="BENCH_engine.json",
                         help="output path (default: ./BENCH_engine.json)")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare against a committed report; exit 1 "
+                             "when any speedup ratio falls below half "
+                             "the committed value")
     args = parser.parse_args(argv)
 
     total = args.events if args.events is not None else \
@@ -223,6 +271,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         json.dump(report, fh, indent=2, sort_keys=False)
         fh.write("\n")
     print(json.dumps(report, indent=2))
+    if args.check is not None:
+        failures = check_report(report, args.check)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("check passed: no regression against", args.check)
     return 0
 
 

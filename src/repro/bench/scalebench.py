@@ -1,0 +1,243 @@
+"""Scale benchmark: the array-native hot core at 1k/4k/16k QPs.
+
+The fig09 flood grid tops out at a few hundred QPs; real ODP incidents
+(Section VII's deployment anecdotes) involve fabrics with thousands of
+stale QPs storming at once.  At that scale the per-object engine spends
+its time on Python attribute traffic: every retransmission round walks
+QP/requester/responder objects, and every delivered packet is a chain
+of heap events.  The array-native core
+(:mod:`repro.ib.transport.arraycore`) mirrors per-QP transport state
+into preallocated numpy structured arrays and fast-forwards whole
+fleets of provably-quiet retransmission rounds through the fabric's
+bulk-delivery surfaces (``Link.bulk_occupy``, ``Switch.bulk_forward``,
+``Network.bulk_book``) — under the same *exact or decline* contract as
+storm coalescing: every reported metric stays bit-identical to the
+object path, enforced here on every workload.
+
+Each workload is a window-1 client-ODP flood (``max_rd_atomic=1``, the
+shape Section VI-B's retransmission analysis reasons about) measured in
+four modes::
+
+    object          per-QP objects, per-round storm replay off
+    object_coalesce per-QP objects + closed-form storm coalescing (PR 5)
+    array           array mirror + fleet batched delivery
+    array_coalesce  both layers composed
+
+Run ``python -m repro.bench.scalebench`` from the repo root; it writes
+``BENCH_scale.json`` (see the README's Performance section).  Use
+``--smoke`` in CI for a minutes-long 1k-QP run, ``--check
+BENCH_scale.json`` to fail when a freshly measured speedup regresses
+more than 30% below the committed report (speedup ratios are
+machine-independent; raw wall-clock seconds are not) or when any
+workload breaks bit-identity, and ``--max-wall SECONDS`` to enforce an
+absolute wall-clock ceiling on the measured ``array`` mode (the CI
+scale-smoke gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.bench.microbench import MicrobenchConfig, OdpSetup, run_microbench
+
+#: Mode name -> (coalesce, arraycore).
+_MODES = (
+    ("object", False, False),
+    ("object_coalesce", True, False),
+    ("array", False, True),
+    ("array_coalesce", True, True),
+)
+
+#: The flood points: 4 ops per QP keeps every QP stale for the whole
+#: run (the steady-state storm regime) while total work scales linearly
+#: with fabric size.  Wall-clock repeats are per-point: the 16k point
+#: costs minutes per object-mode rep, so it gets one.  Smoke mode runs
+#: the 1k point under its full-mode name (fewer repeats) so a smoke
+#: ``--check`` still compares against the committed baseline.
+_WORKLOADS = {
+    "qps1k": dict(num_qps=1024, num_ops=4096, repeats=3),
+    "qps4k": dict(num_qps=4096, num_ops=16384, repeats=3),
+    "qps16k": dict(num_qps=16384, num_ops=65536, repeats=1),
+}
+
+
+def _flood_config(coalesce: bool, arraycore: bool, num_qps: int,
+                  num_ops: int) -> MicrobenchConfig:
+    """A window-1 client-ODP flood point.
+
+    ``size=400`` keeps the paper's sub-page message regime;
+    ``integrity=False`` runs the NICs in lazy-payload mode (bit-identical
+    metrics, no per-packet byte copies) so the measured delta is engine
+    overhead, not memcpy.
+    """
+    return MicrobenchConfig(size=400, num_ops=num_ops, num_qps=num_qps,
+                            interval_us=0.0, odp=OdpSetup.CLIENT,
+                            integrity=False, seed=50, max_rd_atomic=1,
+                            coalesce=coalesce, arraycore=arraycore)
+
+
+def _metrics(result) -> Dict[str, Any]:
+    """Every reported metric — the bit-identity surface.
+
+    ``coalesced_rounds`` and ``events_coalesced`` describe how the run
+    was executed, not what it measured, and legitimately differ.
+    """
+    d = dataclasses.asdict(result)
+    d.pop("config")
+    d.pop("coalesced_rounds")
+    d.pop("events_coalesced")
+    return d
+
+
+def _scale_point(num_qps: int, num_ops: int, repeats: int,
+                 modes=_MODES) -> Dict[str, Any]:
+    """Wall-clock one flood point in every mode.
+
+    Best-of-``repeats`` walls per mode, runs interleaved across modes so
+    slow machine phases (thermal, scheduler) hit all modes alike; the
+    bit-identity comparison uses the full metric surface of each mode's
+    last run against the ``object`` reference.
+    """
+    point: Dict[str, Any] = {"num_qps": num_qps, "num_ops": num_ops}
+    walls: Dict[str, List[float]] = {name: [] for name, _c, _a in modes}
+    surfaces: Dict[str, Dict[str, Any]] = {}
+    for _ in range(repeats):
+        for name, coalesce, arraycore in modes:
+            cfg = _flood_config(coalesce, arraycore, num_qps, num_ops)
+            started = time.perf_counter()
+            result = run_microbench(cfg)
+            walls[name].append(time.perf_counter() - started)
+            surfaces[name] = _metrics(result)
+    reference = surfaces[modes[0][0]]
+    for name, _coalesce, _arraycore in modes:
+        point[name] = {
+            "wall_s": round(min(walls[name]), 4),
+            "bit_identical": surfaces[name] == reference,
+        }
+    point["total_packets"] = reference["total_packets"]
+    point["execution_time_ns"] = reference["execution_time_ns"]
+    point["bit_identical"] = all(point[name]["bit_identical"]
+                                 for name, _c, _a in modes)
+    if "array" in point and "object" in point:
+        point["speedup"] = round(point["object"]["wall_s"]
+                                 / point["array"]["wall_s"], 2)
+    if "array_coalesce" in point and "object_coalesce" in point:
+        point["speedup_coalesce"] = round(
+            point["object_coalesce"]["wall_s"]
+            / point["array_coalesce"]["wall_s"], 2)
+    return point
+
+
+def run_bench(smoke: bool) -> Dict[str, Any]:
+    """Measure the 1k point alone in smoke mode, the full 1k/4k/16k
+    sweep otherwise."""
+    if smoke:
+        point = dict(_WORKLOADS["qps1k"], repeats=2)
+        return {"qps1k": _scale_point(**point)}
+    return {name: _scale_point(**_WORKLOADS[name]) for name in _WORKLOADS}
+
+
+def check_report(report: Dict[str, Any], committed_path: str,
+                 tolerance: float = 0.7) -> List[str]:
+    """Regression gate: compare ``report`` to the committed baseline.
+
+    Bit-identity must hold in the measured report; speedup ratios
+    (machine-independent) are compared per shared workload and fail
+    below ``tolerance`` x the committed value.  Workloads present on
+    only one side are reported by name rather than crashing — a smoke
+    run checked against the full committed report only vets the shapes
+    it measured.
+    """
+    with open(committed_path) as fh:
+        committed = json.load(fh)
+    failures: List[str] = []
+    measured = report.get("workloads") or {}
+    baseline_workloads = committed.get("workloads") or {}
+    if not set(measured) & set(baseline_workloads):
+        missing = sorted(set(baseline_workloads) - set(measured))
+        extra = sorted(set(measured) - set(baseline_workloads))
+        failures.append(
+            f"no workload shared with {committed_path}: baseline "
+            f"workloads missing from this run: {missing or '[]'}; "
+            f"measured workloads unknown to the baseline: "
+            f"{extra or '[]'} (wrong or outdated baseline file?)")
+        return failures
+    for name, point in measured.items():
+        if not point.get("bit_identical", False):
+            failures.append(f"workload {name}: array-mode metrics diverge "
+                            "from the object reference")
+        baseline = baseline_workloads.get(name)
+        if baseline is None:
+            continue
+        for key in ("speedup", "speedup_coalesce"):
+            if key not in point or key not in baseline:
+                continue
+            floor = baseline[key] * tolerance
+            if point[key] < floor:
+                failures.append(
+                    f"workload {name}: {key} {point[key]}x is below "
+                    f"{floor:.2f}x ({tolerance:.0%} of committed "
+                    f"{baseline[key]}x)")
+    extra = sorted(set(measured) - set(baseline_workloads))
+    if extra:
+        print(f"note: workloads not in baseline (unchecked): "
+              f"{', '.join(extra)}", file=sys.stderr)
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="scalebench",
+        description="Benchmark the array-native hot core against the "
+                    "object-path engine at 1k/4k/16k QPs and write "
+                    "BENCH_scale.json.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run only the 1k-QP point (CI scale smoke)")
+    parser.add_argument("--output", default="BENCH_scale.json",
+                        help="output path (default: ./BENCH_scale.json)")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare against a committed report; exit 1 "
+                             "on >30%% speedup regression or broken "
+                             "bit-identity")
+    parser.add_argument("--max-wall", type=float, metavar="SECONDS",
+                        default=None,
+                        help="fail when any measured array-mode wall "
+                             "clock exceeds this ceiling")
+    args = parser.parse_args(argv)
+
+    report = {
+        "bench": "repro.bench.scalebench",
+        "mode": "smoke" if args.smoke else "full",
+        "python": sys.version.split()[0],
+        "workloads": run_bench(args.smoke),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    failures: List[str] = []
+    if args.check is not None:
+        failures.extend(check_report(report, args.check))
+    if args.max_wall is not None:
+        for name, point in report["workloads"].items():
+            wall = point["array"]["wall_s"]
+            if wall > args.max_wall:
+                failures.append(
+                    f"workload {name}: array wall clock {wall:.2f}s "
+                    f"exceeds the {args.max_wall:.2f}s ceiling")
+    if failures:
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1
+    if args.check is not None:
+        print("check passed: no regression against", args.check)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

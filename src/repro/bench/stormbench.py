@@ -138,16 +138,38 @@ def check_report(report: Dict[str, Any], committed_path: str,
     independent); a measured speedup below ``tolerance`` x the committed
     one — i.e. a >30% relative wall-clock regression at the default —
     fails, as does any broken bit-identity in the measured report.
+
+    The workload key sets are compared first: no overlap at all (the
+    classic symptom of pointing ``--check`` at the wrong or an outdated
+    BENCH file) fails with the missing and extra keys spelled out
+    instead of crashing on a missing field.  A partial overlap — a
+    smoke run checked against the full committed report — only vets the
+    shared shapes.
     """
     with open(committed_path) as fh:
         committed = json.load(fh)
     failures: List[str] = []
-    for name, point in report["workloads"].items():
-        if not point["bit_identical"]:
+    measured = report.get("workloads") or {}
+    baseline_workloads = committed.get("workloads") or {}
+    missing = sorted(set(baseline_workloads) - set(measured))
+    extra = sorted(set(measured) - set(baseline_workloads))
+    if not set(measured) & set(baseline_workloads):
+        failures.append(
+            f"no workload shared with {committed_path}: baseline "
+            f"workloads missing from this run: {missing or '[]'}; "
+            f"measured workloads unknown to the baseline: "
+            f"{extra or '[]'} (wrong or outdated baseline file?)")
+        return failures
+    for name, point in measured.items():
+        if not point.get("bit_identical", False):
             failures.append(f"workload {name}: coalesced metrics diverge "
                             "from per-packet metrics")
-        baseline = committed["workloads"].get(name)
+        baseline = baseline_workloads.get(name)
         if baseline is None:
+            continue
+        if "speedup" not in baseline or "speedup" not in point:
+            failures.append(f"workload {name}: no speedup recorded on "
+                            "one side (schema drift?)")
             continue
         floor = baseline["speedup"] * tolerance
         if point["speedup"] < floor:
@@ -155,6 +177,9 @@ def check_report(report: Dict[str, Any], committed_path: str,
                 f"workload {name}: speedup {point['speedup']}x is below "
                 f"{floor:.2f}x ({tolerance:.0%} of committed "
                 f"{baseline['speedup']}x)")
+    if extra:
+        print(f"note: measured workloads not in baseline (unchecked): "
+              f"{', '.join(extra)}", file=sys.stderr)
     return failures
 
 

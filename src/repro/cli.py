@@ -4,13 +4,15 @@ Usage::
 
     python -m repro list
     python -m repro fig04 [--fast] [--seed 1]
-    python -m repro fig09 --fast --jobs 8
+    python -m repro fig09 --fast --jobs 8 --chunksize 2
     python -m repro all --fast
+    python -m repro bench --check-all
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, List
@@ -161,6 +163,53 @@ def _recovery(fast: bool, seed: int, jobs=None) -> str:
     return result.render()
 
 
+#: Bench module -> the committed regression baseline it checks against.
+#: ``python -m repro bench --check-all`` runs every entry's smoke mode
+#: and fails on any regression — the one CI step that vets them all.
+BENCHES: Dict[str, str] = {
+    "enginebench": "BENCH_engine.json",
+    "packetbench": "BENCH_datapath.json",
+    "stormbench": "BENCH_storm.json",
+    "tracebench": "BENCH_telemetry.json",
+    "scalebench": "BENCH_scale.json",
+}
+
+
+def _bench_check_all(output_dir: str) -> int:
+    """Run every bench in smoke mode with its ``--check`` gate armed.
+
+    Fresh reports land in ``output_dir`` (kept, so CI can archive them);
+    each is checked against the committed baseline named in
+    :data:`BENCHES`.  Returns 1 when any bench regresses, breaks
+    bit-identity, or has no committed baseline to check against.
+    """
+    import importlib
+
+    os.makedirs(output_dir, exist_ok=True)
+    failed: List[str] = []
+    for name, baseline in BENCHES.items():
+        print(f"=== {name} --smoke --check {baseline} ===")
+        if not os.path.exists(baseline):
+            print(f"CHECK FAILED: committed baseline {baseline} not found "
+                  "(generate it with python -m repro.bench."
+                  f"{name})", file=sys.stderr)
+            failed.append(name)
+            continue
+        module = importlib.import_module(f"repro.bench.{name}")
+        fresh = os.path.join(output_dir, baseline)
+        code = module.main(["--smoke", "--output", fresh,
+                            "--check", baseline])
+        if code != 0:
+            failed.append(name)
+    if failed:
+        print(f"bench --check-all FAILED: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print("bench --check-all: every bench within tolerance of its "
+          "committed baseline")
+    return 0
+
+
 EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "tables": _tables,
     "fig01": _fig01,
@@ -191,7 +240,7 @@ def main(argv: List[str] = None) -> int:
                     "InfiniBand with On-Demand Paging' (ISPASS 2021) "
                     "against the simulated RC+ODP stack.")
     parser.add_argument("experiment",
-                        help="one of: list, all, "
+                        help="one of: list, all, bench, "
                              + ", ".join(EXPERIMENTS))
     parser.add_argument("--fast", action="store_true",
                         help="reduced trial counts / sweep sizes")
@@ -202,12 +251,39 @@ def main(argv: List[str] = None) -> int:
                              "experiments (default: all usable cores; "
                              "REPRO_SERIAL=1 forces serial); results "
                              "are bit-identical at any job count")
+    parser.add_argument("--chunksize", type=int, default=None, metavar="N",
+                        help="points per worker dispatch for sweep-style "
+                             "experiments (default: auto — a quarter of "
+                             "the per-worker share; REPRO_CHUNKSIZE sets "
+                             "the same knob); results are bit-identical "
+                             "at any chunk size")
+    parser.add_argument("--check-all", action="store_true",
+                        help="with the 'bench' verb: run every "
+                             "benchmark's smoke mode and fail on any "
+                             "regression against its committed "
+                             "BENCH_*.json baseline")
+    parser.add_argument("--bench-output", default="bench_ci",
+                        metavar="DIR",
+                        help="with 'bench --check-all': directory for "
+                             "the fresh reports (default: ./bench_ci)")
     args = parser.parse_args(argv)
+
+    if args.chunksize is not None:
+        if args.chunksize < 1:
+            parser.error("--chunksize must be >= 1")
+        # sweep() workers read the knob through resolve_chunksize(); the
+        # environment carries it so every nested figure helper sees it
+        # without threading a parameter through each signature.
+        os.environ["REPRO_CHUNKSIZE"] = str(args.chunksize)
 
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.experiment == "bench":
+        if not args.check_all:
+            parser.error("the 'bench' verb requires --check-all")
+        return _bench_check_all(args.bench_output)
 
     names = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

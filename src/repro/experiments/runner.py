@@ -13,7 +13,10 @@ Environment knobs:
 * ``REPRO_SERIAL=1`` forces serial execution regardless of arguments
   (useful for debugging and for deterministic timing baselines);
 * ``REPRO_JOBS=N`` sets the default worker count (otherwise the number
-  of usable cores).
+  of usable cores);
+* ``REPRO_CHUNKSIZE=N`` sets the default ``pool.map`` chunk size
+  (otherwise :func:`auto_chunksize`); the ``--chunksize`` flag of
+  ``python -m repro`` pins it for one invocation.
 
 Workers must be module-level functions and points picklable tuples —
 ``ProcessPoolExecutor`` ships both to the pool.  Nested sweeps (a sweep
@@ -74,6 +77,25 @@ def auto_chunksize(num_points: int, jobs: int) -> int:
     return max(1, num_points // (4 * jobs))
 
 
+def resolve_chunksize(num_points: int, jobs: int,
+                      chunksize: Optional[int] = None) -> int:
+    """The chunk size a sweep will use: explicit argument first, then
+    the ``REPRO_CHUNKSIZE`` environment knob, then
+    :func:`auto_chunksize`.  Values are clamped to >= 1; a malformed
+    environment value is ignored rather than fatal (the knob is a
+    tuning hint, not configuration).
+    """
+    if chunksize is not None:
+        return max(1, int(chunksize))
+    env = os.environ.get("REPRO_CHUNKSIZE")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return auto_chunksize(num_points, jobs)
+
+
 def sweep(fn: Callable[[Point], Result], points: Iterable[Point],
           processes: Optional[int] = None,
           chunksize: Optional[int] = None,
@@ -88,8 +110,9 @@ def sweep(fn: Callable[[Point], Result], points: Iterable[Point],
 
     ``processes=None`` uses :func:`default_jobs`; ``processes<=1``, a
     single point, or ``REPRO_SERIAL=1`` short-circuit to the plain
-    serial loop (no pool, no pickling).  ``chunksize=None`` picks
-    :func:`auto_chunksize`; pass an explicit value to override.
+    serial loop (no pool, no pickling).  ``chunksize=None`` defers to
+    :func:`resolve_chunksize` (``REPRO_CHUNKSIZE``, then
+    :func:`auto_chunksize`); pass an explicit value to override both.
 
     ``progress``, when given, is called as ``progress(done, total)``
     after each point's result is in hand — in input order on the serial
@@ -110,8 +133,7 @@ def sweep(fn: Callable[[Point], Result], points: Iterable[Point],
             if progress is not None:
                 progress(len(results), total)
         return results
-    if chunksize is None:
-        chunksize = auto_chunksize(len(todo), jobs)
+    chunksize = resolve_chunksize(len(todo), jobs, chunksize)
     with ProcessPoolExecutor(max_workers=jobs,
                              initializer=_mark_worker) as pool:
         if progress is None:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Set, Tuple
 
+from repro.host.memory import PAGE_SIZE
 from repro.sim.engine import Simulator
 from repro.sim.future import Future, all_of
 
@@ -55,7 +56,7 @@ class OdpCoordinator:
         #: invalidation flow bump the view generation, so the flood's
         #: millions of identical "is my local range fresh yet?" checks
         #: between two engine transitions cost one dict hit each.
-        self._ready_cache: Dict[ReadyKey, Tuple[Tuple[int, int], bool]] = {}
+        self._ready_cache: Dict[ReadyKey, Tuple[int, int, bool]] = {}
         self._view_gen = 0
         self.ready_cache_hits = 0
         self.ready_cache_misses = 0
@@ -101,20 +102,35 @@ class OdpCoordinator:
         translation = self.rnic.translation
         handle = mr.handle
         key = (qpn, handle, addr, size)
-        stamp = (self._view_gen, translation.generation)
+        vgen = self._view_gen
+        tgen = translation.generation
         hit = self._ready_cache.get(key)
-        if hit is not None and hit[0] == stamp:
+        if hit is not None and hit[0] == vgen and hit[1] == tgen:
             self.ready_cache_hits += 1
-            return hit[1]
+            return hit[2]
         self.ready_cache_misses += 1
         view = self._view
         mapped = translation._mapped  # noqa: SLF001 - same-device fast path
+        # ``mr.pages_of_range`` inlined (it is a static page-index
+        # computation): the client-side flood re-checks the same cold
+        # single-page range once per discarded response, and the view
+        # generation bumps on every status-engine transition, so this
+        # miss loop — not the cache hit — is the hot path.
         verdict = True
-        for page in mr.pages_of_range(addr, size):
-            if (handle, page) not in mapped or (qpn, handle, page) not in view:
-                verdict = False
-                break
-        self._ready_cache[key] = (stamp, verdict)
+        if size > 0:
+            first = addr // PAGE_SIZE
+            last = (addr + size - 1) // PAGE_SIZE
+            if first == last:
+                if (handle, first) not in mapped \
+                        or (qpn, handle, first) not in view:
+                    verdict = False
+            else:
+                for page in range(first, last + 1):
+                    if (handle, page) not in mapped \
+                            or (qpn, handle, page) not in view:
+                        verdict = False
+                        break
+        self._ready_cache[key] = (vgen, tgen, verdict)
         return verdict
 
     def requester_wait_fresh(self, qpn: int, mr: "MemoryRegion",
@@ -140,6 +156,11 @@ class OdpCoordinator:
         # is missing.
         self._stale.add(key)
         self._stale_by_qpn[qpn] = self._stale_by_qpn.get(qpn, 0) + 1
+        ac = self.rnic.arraycore
+        if ac is not None:
+            slot = ac.slot_of.get(qpn)
+            if slot is not None:
+                ac.col("stale")[slot] = True
         self.client_faults += 1
         tel = self.rnic.telemetry
         if tel is not None:
@@ -176,7 +197,13 @@ class OdpCoordinator:
                               "odp.fault_resolved", self.rnic.lid, key[0],
                               key[2])
         self._bump_view_gen()  # resolve transition: cached "not ready"
-        fresh.resolve(key[2])  # verdicts for this QP/page are now stale
+        ac = self.rnic.arraycore  # verdicts for this QP/page are now stale
+        if ac is not None:
+            slot = ac.slot_of.get(key[0])
+            if slot is not None:
+                ac.col("stale")[slot] = key[0] in self._stale_by_qpn
+                ac.col("page_gen")[slot] = self._view_gen
+        fresh.resolve(key[2])
 
     # ------------------------------------------------------------------
     # Prefetch / prewarm
@@ -204,6 +231,7 @@ class OdpCoordinator:
                 self._view_by_page.setdefault((mr.handle, page),
                                               set()).add(qpn)
         self._bump_view_gen()
+        self._stamp_page_gen(qpns)
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -217,6 +245,18 @@ class OdpCoordinator:
         for qpn in qpns:
             self._view.discard((qpn, mr.handle, page))
         self._bump_view_gen()  # cached "ready" verdicts are now stale
+        self._stamp_page_gen(qpns)
+
+    def _stamp_page_gen(self, qpns) -> None:
+        """Write the new view generation through to the affected rows."""
+        ac = self.rnic.arraycore
+        if ac is None:
+            return
+        page_gen = ac.col("page_gen")
+        for qpn in qpns:
+            slot = ac.slot_of.get(qpn)
+            if slot is not None:
+                page_gen[slot] = self._view_gen
 
     # ------------------------------------------------------------------
 
@@ -236,7 +276,16 @@ class OdpCoordinator:
 
     def retransmit_load(self) -> int:
         """Retransmission pressure: outstanding READ window summed over
-        stale QPs (feeds the status engine's congestion law)."""
+        stale QPs (feeds the status engine's congestion law).
+
+        With the array core enabled this is one vectorized reduction
+        over the device's QP table instead of an O(stale QPs) object
+        walk *per status-engine service* — the dominant cost of deep
+        floods (O(QPs^2) over a run) on the object path.
+        """
+        ac = self.rnic.arraycore
+        if ac is not None:
+            return ac.retransmit_load()
         load = 0
         qps = self.rnic._qps  # noqa: SLF001 - same device
         for qpn in self._stale_by_qpn:

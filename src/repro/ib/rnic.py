@@ -82,6 +82,11 @@ class Rnic:
         #: single None check is the entire disabled-mode cost and QPs
         #: rebuilt by ``to_reset`` stay instrumented.
         self.telemetry = None
+        #: Array-native hot core (``enable_arraycore``): dense per-QP
+        #: transport state that turns O(QPs) aggregate walks into
+        #: vectorized reductions.  None = pure object core; a single
+        #: None check is the entire disabled-mode cost.
+        self.arraycore = None
 
     # ------------------------------------------------------------------
     # Tables
@@ -93,6 +98,25 @@ class Rnic:
         self._next_qpn += 1
         self._qps[qpn] = qp
         return qpn
+
+    def enable_arraycore(self, capacity: int = 256):
+        """Switch this device to the array-native hot core.
+
+        Idempotent.  Existing QPs are registered immediately; QPs
+        created later register themselves in ``QueuePair.__init__``.
+        Per-QP aggregate walks (``OdpCoordinator.retransmit_load``)
+        dispatch to the table from the next query on, and the storm
+        coalescer's fleet fast-forward (armed fabric-side by
+        ``Network.enable_bulk``) requires the table for its batched
+        eligibility scans.
+        """
+        if self.arraycore is None:
+            from repro.ib.transport.arraycore import ArrayCore
+            self.arraycore = ArrayCore(
+                self, capacity=max(capacity, 2 * len(self._qps), 1))
+            for qp in self._qps.values():
+                qp.ac_slot = self.arraycore.register(qp)
+        return self.arraycore
 
     def register_mr(self, mr: "MemoryRegion") -> None:
         """Make an MR reachable by its rkey."""

@@ -1,0 +1,317 @@
+"""Array-native hot core: vectorized per-QP transport state.
+
+At fabric scale (1k-16k QPs) the flood experiments spend most of their
+wall-clock not in packet handlers but in *per-QP bookkeeping that is
+O(QPs) per event*: the page-status engine re-derives its congestion load
+by walking every stale QP's send queue on every service (
+
+    ``OdpCoordinator.retransmit_load`` — O(stale QPs) per status-engine
+    completion, hence O(QPs^2) over a flood run
+
+), and each blind-retransmit tick pays the object-model cost of its
+round.  Real RNICs do not box per-QP state: PSN/window/timer state lives
+in dense per-QP context tables that the pipeline reads as arrays (the
+IRN line of work models hardware the same way, and NP-RDMA's
+page-presence bitmaps are the ODP analogue).
+
+:class:`ArrayCore` is that table for this simulator: one preallocated
+numpy structured array per RNIC holding every QP's transport state —
+expected/next PSN, MSN, retry counters, timer deadlines, the RNR budget,
+the page-readiness generation, the stale flag and the outstanding-window
+columns.  The requester/responder/ODP-coordinator objects stay the
+behavioural source of truth on the per-packet slow path and write
+through to their row at each mutation point; aggregate queries that the
+object model answers by iteration (``retransmit_load``,
+``stale_qp_count``) become single vectorized reductions, and the storm
+fast-forward timeline math (:func:`cascade_times`) becomes closed-form
+`numpy` recurrences over whole delivery batches.
+
+The object model remains the *observer view*: :meth:`ArrayCore.view`
+materializes a per-QP dict lazily from the row (nothing is computed for
+QPs nobody looks at), and :meth:`ArrayCore.verify_row` cross-checks a
+row against the live objects — the contract the bit-identity tests
+enforce.
+
+Exactness contract
+------------------
+
+Every reduction here must return *exactly* what the object-path walk
+returns — the arrays are int64/int32/bool, all arithmetic is integral,
+and the write-through points mirror the object mutations one for one.
+``audit=True`` makes :meth:`retransmit_load` recompute the object-path
+answer on every call and raise on divergence (used by the tests; too
+slow to leave on at 16k QPs).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ib.rnic import Rnic
+    from repro.ib.verbs.qp import QueuePair
+
+#: Requester state codes (see ``repro.ib.transport.requester``).
+STATE_CODES = {"normal": 0, "rnr_wait": 1, "odp_wait": 2}
+
+#: "No deadline armed" sentinel for the timer columns.
+NO_DEADLINE = -1
+
+#: One row per QP.  int64 everywhere a simulated timestamp or PSN can
+#: land; the narrow columns are bounded by the IB spec (3-bit retry
+#: fields, initiator depth).
+QP_DTYPE = np.dtype([
+    ("qpn", np.int64),
+    ("expected_psn", np.int64),    # responder ePSN
+    ("next_psn", np.int64),        # requester next PSN to assign
+    ("msn", np.int64),             # responder message sequence number
+    ("retry_used", np.int32),      # transport retries consumed
+    ("rnr_retries_used", np.int32),
+    ("rnr_budget", np.int32),      # remaining RNR retries (7 = infinite)
+    ("timer_deadline", np.int64),  # transport ACK timer expiry
+    ("blind_deadline", np.int64),  # next blind-retransmit tick
+    ("page_gen", np.int64),        # page-readiness generation stamp
+    ("pending", np.int32),         # len(requester.wqes)
+    ("window_cap", np.int32),      # attrs.max_rd_atomic
+    ("state", np.int8),            # requester state code
+    ("stale", np.bool_),           # >= 1 stale page view (flood member)
+])
+
+
+class ArrayCore:
+    """Per-RNIC dense QP state table with vectorized reductions."""
+
+    def __init__(self, rnic: "Rnic", capacity: int = 256):
+        self.rnic = rnic
+        self.slot_of: Dict[int, int] = {}
+        self._n = 0
+        self._table = np.zeros(max(1, capacity), dtype=QP_DTYPE)
+        self._rebind()
+        #: cross-check every vectorized reduction against the object
+        #: walk (tests only; defeats the point at scale).
+        self.audit = False
+        #: reductions served / audit mismatches (cheap introspection).
+        self.load_queries = 0
+
+    # ------------------------------------------------------------------
+    # Registration / lifecycle
+    # ------------------------------------------------------------------
+
+    def _rebind(self) -> None:
+        """Refresh the cached per-column views (after (re)allocation).
+
+        A structured-array field access builds a fresh view object every
+        time; the write-through sites run per packet, so the bound
+        column arrays are cached here — ``ArrayCore`` owns the table, so
+        growth (the only thing that invalidates a view) rebinds them.
+        """
+        self._cols: Dict[str, np.ndarray] = {
+            name: self._table[name] for name in QP_DTYPE.names}
+        #: reusable output buffer for :meth:`retransmit_load` — the
+        #: reduction runs once per status-engine service, and a fresh
+        #: allocation per call is measurable in deep floods.
+        self._load_scratch = np.empty(len(self._table), dtype=np.int32)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def register(self, qp: "QueuePair") -> int:
+        """Assign (or return) the row of ``qp``; syncs the full row."""
+        slot = self.slot_of.get(qp.qpn)
+        if slot is None:
+            if self._n == len(self._table):
+                grown = np.zeros(len(self._table) * 2, dtype=QP_DTYPE)
+                grown[:self._n] = self._table
+                self._table = grown
+                self._rebind()
+            slot = self._n
+            self._n += 1
+            self.slot_of[qp.qpn] = slot
+        self.sync_row(qp, slot)
+        return slot
+
+    def sync_row(self, qp: "QueuePair", slot: Optional[int] = None) -> None:
+        """Write every column of ``qp``'s row from the object model —
+        the transition-point resync used at registration, (re)connect
+        and reset (the hot paths write single fields through instead)."""
+        if slot is None:
+            slot = self.slot_of[qp.qpn]
+        req = qp.requester
+        resp = qp.responder
+        cols = self._cols
+        cols["qpn"][slot] = qp.qpn
+        cols["expected_psn"][slot] = resp.epsn
+        cols["next_psn"][slot] = req.next_psn
+        cols["msn"][slot] = resp.msn
+        cols["retry_used"][slot] = req.retry_used
+        cols["rnr_retries_used"][slot] = req.rnr_retries_used
+        cols["rnr_budget"][slot] = qp.attrs.rnr_retry - (
+            req.rnr_retries_used if qp.attrs.rnr_retry != 7 else 0)
+        cols["timer_deadline"][slot] = NO_DEADLINE
+        cols["blind_deadline"][slot] = NO_DEADLINE
+        cols["pending"][slot] = len(req.wqes)
+        cols["window_cap"][slot] = qp.attrs.max_rd_atomic
+        cols["state"][slot] = STATE_CODES[req.state]
+        cols["stale"][slot] = \
+            qp.qpn in self.rnic.odp._stale_by_qpn  # noqa: SLF001
+
+    def sync_hot(self, qp: "QueuePair") -> None:
+        """Write-through of every field a packet-handler chain can move.
+
+        Called once per dispatched packet (and from the requester's
+        timer/post paths via ``_ac_sync``); the deadline and page
+        columns are written at their own arm/transition sites, which
+        are the only places the values are known.
+        """
+        req = qp.requester
+        resp = qp.responder
+        slot = qp.ac_slot
+        cols = self._cols
+        cols["expected_psn"][slot] = resp.epsn
+        cols["next_psn"][slot] = req.next_psn
+        cols["msn"][slot] = resp.msn
+        retry_used = req.retry_used
+        cols["retry_used"][slot] = retry_used
+        rnr_used = req.rnr_retries_used
+        cols["rnr_retries_used"][slot] = rnr_used
+        rnr_retry = qp.attrs.rnr_retry
+        cols["rnr_budget"][slot] = rnr_retry - (
+            rnr_used if rnr_retry != 7 else 0)
+        cols["pending"][slot] = len(req.wqes)
+        cols["state"][slot] = STATE_CODES[req.state]
+
+    # Column accessors: the write-through sites index these directly
+    # (``ac.col("pending")[slot] = n`` — one dict hit against the
+    # cached views; ``_rebind`` keeps them valid across growth).
+
+    def col(self, name: str) -> np.ndarray:
+        """The named column (full capacity; index by slot)."""
+        return self._cols[name]
+
+    # ------------------------------------------------------------------
+    # Vectorized reductions (the object model answers these by walking
+    # every QP; the table answers them in one C-level pass)
+    # ------------------------------------------------------------------
+
+    def retransmit_load(self) -> int:
+        """Outstanding READ window summed over stale QPs — the status
+        engine's congestion-law input, exactly as
+        ``OdpCoordinator.retransmit_load`` computes it by iteration."""
+        self.load_queries += 1
+        n = self._n
+        cols = self._cols
+        stale = cols["stale"][:n]
+        pending = cols["pending"][:n]
+        cap = cols["window_cap"][:n]
+        out = self._load_scratch[:n]
+        np.minimum(pending, cap, out=out)
+        # dot-with-mask is the fastest masked sum numpy offers here
+        # (~5x over a ``where=`` reduction); the result is bounded by
+        # QPs * initiator depth, far inside int32.
+        load = int(np.dot(out, stale))
+        if self.audit:
+            expect = self._object_path_load()
+            if load != expect:
+                raise AssertionError(
+                    f"arraycore retransmit_load diverged: table {load} "
+                    f"!= object walk {expect}")
+        return load
+
+    def _object_path_load(self) -> int:
+        """The object-model walk (audit reference, never the hot path)."""
+        load = 0
+        qps = self.rnic._qps  # noqa: SLF001 - same device
+        for qpn in self.rnic.odp._stale_by_qpn:  # noqa: SLF001
+            qp = qps.get(qpn)
+            if qp is None:
+                continue
+            pending = len(qp.requester.wqes)
+            cap = qp.attrs.max_rd_atomic
+            load += pending if pending < cap else cap
+        return load
+
+    def stale_qp_count(self) -> int:
+        """Distinct QPs with at least one stale page view."""
+        return int(np.count_nonzero(self._cols["stale"][:self._n]))
+
+    # ------------------------------------------------------------------
+    # Observer view (lazy materialization of the object-model shape)
+    # ------------------------------------------------------------------
+
+    def view(self, qpn: int) -> Dict[str, Any]:
+        """Materialize one QP's row as a plain dict, on demand.
+
+        Observers (tests, diagnosis tooling) read per-QP state through
+        this instead of holding the array: nothing is built for rows
+        nobody asks about, mirroring the PayloadRef pattern of keeping
+        the cheap dense form authoritative and boxing lazily.
+        """
+        row = self._table[self.slot_of[qpn]]
+        out = {name: row[name].item() for name in QP_DTYPE.names}
+        out["state"] = {v: k for k, v in STATE_CODES.items()}[out["state"]]
+        return out
+
+    def verify_row(self, qp: "QueuePair") -> List[str]:
+        """Mismatches between ``qp``'s row and the live objects (empty
+        when the write-through contract held)."""
+        got = self.view(qp.qpn)
+        req, resp = qp.requester, qp.responder
+        expect = {
+            "qpn": qp.qpn,
+            "expected_psn": resp.epsn,
+            "next_psn": req.next_psn,
+            "msn": resp.msn,
+            "retry_used": req.retry_used,
+            "rnr_retries_used": req.rnr_retries_used,
+            "pending": len(req.wqes),
+            "window_cap": qp.attrs.max_rd_atomic,
+            "state": req.state,
+            "stale": qp.qpn in self.rnic.odp._stale_by_qpn,  # noqa: SLF001
+        }
+        return [f"{name}: table {got[name]!r} != object {value!r}"
+                for name, value in expect.items() if got[name] != value]
+
+
+# ----------------------------------------------------------------------
+# Vectorized delivery-batch timeline
+# ----------------------------------------------------------------------
+
+def cascade_times(enq: Sequence[int], wires: Sequence[int], tx_ns: int,
+                  up, down, forward_ns: int, rx_ns: int
+                  ) -> Tuple[List[int], List[int], int, int]:
+    """Closed-form drain/dispatch times for a batch of packets crossing
+    one NIC tx pipeline, an uplink, the switch, and a downlink.
+
+    Vectorized equivalent of the storm coalescer's ``_through_fabric``
+    scan: the three serial-resource recurrences (tx drain pacing, uplink
+    serialisation, downlink serialisation) are each of the form
+    ``b[i] = max(arrival[i], b[i-1]) + cost[i]``, which prefix sums turn
+    into ``b = cumsum(cost) + running_max(arrival - exclusive_cumsum)``
+    — one :func:`numpy.maximum.accumulate` per resource instead of a
+    Python loop over the batch.  All arithmetic is int64, so the results
+    are bit-identical to the scalar scan (a test proves it).
+    """
+    n = len(enq)
+    arrivals = np.asarray(enq, dtype=np.int64)
+    idx = np.arange(n, dtype=np.int64)
+    drains = tx_ns * (idx + 1) + np.maximum.accumulate(
+        arrivals - tx_ns * idx)
+
+    ser_up = np.array([up.serialization_ns(w) for w in wires],
+                      dtype=np.int64)
+    cum_up = np.cumsum(ser_up)
+    busy_up = cum_up + np.maximum.accumulate(
+        np.maximum(drains - cum_up + ser_up, up._busy_until))  # noqa: SLF001
+
+    at_switch = busy_up + up.propagation_ns + forward_ns
+    ser_down = np.array([down.serialization_ns(w) for w in wires],
+                        dtype=np.int64)
+    cum_down = np.cumsum(ser_down)
+    busy_down = cum_down + np.maximum.accumulate(
+        np.maximum(at_switch - cum_down + ser_down,
+                   down._busy_until))  # noqa: SLF001
+    dispatches = busy_down + down.propagation_ns + rx_ns
+    return (drains.tolist(), dispatches.tolist(),
+            int(busy_up[-1]), int(busy_down[-1]))

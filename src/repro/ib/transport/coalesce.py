@@ -53,6 +53,7 @@ cheaper.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
@@ -62,6 +63,7 @@ from repro.ib.packets import (AETH_BYTES, BASE_HEADER_BYTES, RETH_BYTES,
 from repro.ib.transport.psn import psn_add, psn_diff
 from repro.ib.transport.responder import Responder
 from repro.ib.verbs.enums import Access, QpState
+from repro.sim.engine import Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.ib.verbs.qp import QueuePair
@@ -73,6 +75,33 @@ _NAK_WIRE = BASE_HEADER_BYTES + AETH_BYTES
 #: Events a packet costs on the per-packet path: tx drain, uplink
 #: arrival, switch forward, downlink arrival, rx dispatch.
 _EVENTS_PER_PACKET = 5
+
+# Vectorized cascade arithmetic (array-native hot core): numpy prefix
+# sums beat the scalar scan once a batch is large enough to amortise
+# array setup; below the threshold (solo rounds are <= the READ window)
+# the Python loop wins.  Gated so the object core never needs numpy.
+try:
+    from repro.ib.transport.arraycore import cascade_times as _cascade_times
+except ImportError:  # pragma: no cover - numpy-less fallback
+    _cascade_times = None
+
+_VECTOR_MIN = 64
+
+#: Requester state constants, resolved once on first use: the requester
+#: module imports this one, so a top-level import would be circular, and
+#: the ``from … import`` machinery is measurable on the per-tick paths.
+_STATES: Optional[Tuple[str, str]] = None
+
+
+def _requester_states() -> Tuple[str, str]:
+    """(STATE_NORMAL, STATE_ODP_WAIT), cached."""
+    global _STATES
+    states = _STATES
+    if states is None:
+        from repro.ib.transport.requester import (STATE_NORMAL,
+                                                  STATE_ODP_WAIT)
+        states = _STATES = (STATE_NORMAL, STATE_ODP_WAIT)
+    return states
 
 
 class _BlindRound:
@@ -89,7 +118,7 @@ class _BlindRound:
                  "head_mr", "head_addr", "head_chunk", "count",
                  "responses", "req_bytes", "resp_bytes", "rel_span",
                  "rel_interact", "rel_busy", "rel_flaw_until", "rel_rows",
-                 "events", "wqe_chunks")
+                 "events", "wqe_chunks", "shape_key")
 
 
 class _JointMember:
@@ -137,10 +166,41 @@ class StormCoalescer:
         #: Jointly synthesised rounds this QP *initiated* (its tick
         #: computed and applied the merged cascade).
         self.joint_rounds = 0
+        #: Future blind ticks this QP's fleet sweeps absorbed (their
+        #: rounds applied and their timers retired ahead of time).
+        #: Bookkeeping, like ``joint_rounds``: execution-shape detail,
+        #: not a reported metric.
+        self.fleet_rounds = 0
+        #: Why fleet sweeps ended, by first failed check (diagnostics,
+        #: like ``decline_reasons``).
+        self.fleet_breaks: Dict[str, int] = {}
+        #: Set when this QP's own tick just replayed its memo with the
+        #: links idle — the precondition for :meth:`maybe_fleet` to
+        #: sweep the upcoming horizon.
+        self._fleet_ready = False
         #: Set by another QP's joint synthesis that already applied this
         #: QP's next round: the tick time whose firing is pre-paid.  The
         #: tick still fires so its re-arm RNG draw lands in real order.
         self._joint_pending: Optional[int] = None
+        #: Memoised :meth:`_storm_links` result — link ends are created
+        #: at topology build and never replaced, so the lookup is pure.
+        self._links_cache: Optional[Tuple] = None
+        #: Set when a seeded fleet sweep absorbed the currently firing
+        #: tick itself (round, re-arm draw, deadline write-through):
+        #: ``_blind_retransmit`` consumes it and skips its own tail.
+        self._self_swept = False
+        #: Ticks of this QP absorbed as sweep seeds (diagnostics, like
+        #: ``fleet_rounds``), and why seed attempts fell back to the
+        #: per-round replay.
+        self.seed_rounds = 0
+        self.seed_fails: Dict[str, int] = {}
+        #: ``(now, horizon, limit, worklist)`` classified by a seed
+        #: attempt that failed its member checks: the per-round replay
+        #: and the requester's ``maybe_fleet`` re-enter within the same
+        #: event body, so the window survives verbatim — except through
+        #: the joint path, which cancels and re-arms member ticks and
+        #: must invalidate it.
+        self._sweep_cache: Optional[Tuple] = None
 
     @property
     def rounds_coalesced(self) -> int:
@@ -168,11 +228,16 @@ class StormCoalescer:
         and no observer forces this pair onto the per-packet path."""
         qp = self.qp
         rnic = qp.rnic
-        if not rnic.coalesce:
+        # Either fast-forward machinery enables macro-events: the PR 3
+        # coalesce flag or the array-native hot core (both synthesise
+        # the identical closed form, so mixing modes stays exact).
+        if not rnic.coalesce and rnic.arraycore is None:
             return None
         network = rnic.network
         peer_rnic = network.devices.get(qp.remote_lid)
-        if peer_rnic is None or not getattr(peer_rnic, "coalesce", False):
+        if peer_rnic is None or not (
+                getattr(peer_rnic, "coalesce", False)
+                or getattr(peer_rnic, "arraycore", None) is not None):
             return None
         if network.requires_real(rnic.lid, qp.remote_lid):
             return None
@@ -232,7 +297,15 @@ class StormCoalescer:
         using its own cached 8 ns-quantised :meth:`serialization_ns`,
         the switch adds its cut-through latency, and the receiver's rx
         pipeline delay lands the dispatch.
+
+        Large batches (joint rounds, deep windows) dispatch to the
+        vectorized closed form in ``arraycore.cascade_times`` — the same
+        integer recurrences as prefix-sum/running-max array operations,
+        bit-identical by construction (and by test).
         """
+        if _cascade_times is not None and len(enq) >= _VECTOR_MIN:
+            return _cascade_times(enq, wires, tx_ns, up, down,
+                                  forward_ns, rx_ns)
         drains: List[int] = []
         dispatches: List[int] = []
         busy_up = up._busy_until  # noqa: SLF001 - closed-form replay
@@ -252,11 +325,21 @@ class StormCoalescer:
         return drains, dispatches, busy_up, busy_down
 
     def _storm_links(self, network, peer_rnic):
-        """The four link ends a round occupies, in cascade order."""
+        """The four link ends a round occupies, in cascade order.
+
+        Memoised per (network, peer): the ends are attached once at
+        topology build, and this runs on every storm tick and sweep.
+        """
+        cached = self._links_cache
+        if cached is not None and cached[0] is network \
+                and cached[1] is peer_rnic:
+            return cached[2]
         links = network._links  # noqa: SLF001
         rnic = self.qp.rnic
-        return (links[rnic.lid].a_to_b, links[peer_rnic.lid].b_to_a,
+        ends = (links[rnic.lid].a_to_b, links[peer_rnic.lid].b_to_a,
                 links[peer_rnic.lid].a_to_b, links[rnic.lid].b_to_a)
+        self._links_cache = (network, peer_rnic, ends)
+        return ends
 
     @staticmethod
     def _complete_tolerable(event, interact_end: int, span_end: int,
@@ -291,7 +374,8 @@ class StormCoalescer:
         floor = getattr(profile, "status_resume_ns", None)
         return floor is not None and event.time + floor > span_end
 
-    def _span_clear(self, interact_end: int, span_end: int) -> bool:
+    def _span_clear(self, interact_end: int, span_end: int,
+                    ignore=None) -> bool:
         """True when nothing that fires inside the round's span can
         interact with it.
 
@@ -314,15 +398,21 @@ class StormCoalescer:
         after ``interact_end`` (see :meth:`_complete_tolerable`).
         Anything else inside the span (driver completions, in-flight
         packet hops) declines the round.
+
+        ``ignore`` skips one still-pending event: the fleet
+        fast-forward vets a member round *before* retiring the member's
+        own tick event, which would otherwise trip its own span walk.
         """
         sim = self.sim
         if sim.quiet_until(span_end):
             return True
-        from repro.ib.transport.requester import STATE_NORMAL
+        STATE_NORMAL = _requester_states()[0]
         qp = self.qp
         req = qp.requester
         member_qpns = (qp.qpn, qp.remote_qpn)
         for event in sim.live_events_until(span_end):
+            if event is ignore:
+                continue
             fn = event.fn
             name = getattr(fn, "__name__", None)
             if (name == "_blind_retransmit" and event.time > interact_end
@@ -348,6 +438,7 @@ class StormCoalescer:
         the whole window of READs replays as duplicates at the responder,
         every response is discarded at the stale client.  Returns True
         when the round was applied in closed form."""
+        self._fleet_ready = False
         pending = self._joint_pending
         if pending is not None:
             self._joint_pending = None
@@ -380,15 +471,36 @@ class StormCoalescer:
         if not head.fault_wait_registered:
             return self._decline("head_not_waiting")
         if cache is not None:
+            if emit is cache.emit and self._fleet(cache):
+                # Seeded sweep: this tick's round, its whole re-arm tail
+                # (period draw included, at its real stream position),
+                # and the upcoming horizon of sibling ticks were applied
+                # in one batched pass; _blind_retransmit consumes
+                # ``_self_swept`` and returns.
+                return True
             applied = self._blind_fast(peer, emit, cache)
             if applied is not None:
+                self._fleet_ready = applied is True
                 return applied
-        return self._blind_slow(peer, list(emit), head)
+        applied = self._blind_slow(peer, list(emit), head)
+        self._fleet_ready = applied and self._blind_cache is not None
+        return applied
 
-    def _blind_fast(self, peer, emit, c: _BlindRound) -> Optional[bool]:
+    def _blind_fast(self, peer, emit, c: _BlindRound, t: Optional[int] = None,
+                    fleet_event=None) -> Optional[bool]:
         """Replay the memoised round.  Returns True (applied), False
         (eligible memo but the round declined — already tallied), or
-        None (memo stale: fall through to the full derivation)."""
+        None (memo stale: fall through to the full derivation).
+
+        The fleet fast-forward replays *future* ticks from the batch's
+        own instant: ``t`` overrides the tick time (every timestamp in
+        the memo is tick-relative, so the apply is exact at any proven
+        tick), and ``fleet_event`` is the member's still-pending tick
+        event, excluded from the span walk.  In fleet mode every
+        fallback — joint synthesis, decline tallies — returns None
+        instead: the member's real tick stays armed and handles its own
+        round, so no bookkeeping is double-counted.
+        """
         network, peer_rnic, peer_qp = peer
         # The memo is only t-independent in lazy-payload mode (no VM
         # residency to re-prove) and for this exact peer.
@@ -423,7 +535,8 @@ class StormCoalescer:
         qp = self.qp
         rnic = qp.rnic
         sim = self.sim
-        t = sim.now
+        if t is None:
+            t = sim.now
         up_a, down_b, up_b, down_a = self._storm_links(network, peer_rnic)
         if (up_a._busy_until > t or down_b._busy_until > t  # noqa: SLF001
                 or up_b._busy_until > t
@@ -433,14 +546,17 @@ class StormCoalescer:
         interact_end = t + c.rel_interact
         next_transition = rnic.odp.next_transition_at()
         if next_transition is not None and next_transition <= interact_end:
-            return self._decline("page_transition")
-        if not self._span_clear(interact_end, span_end):
-            return self._blind_joint(peer)
+            return None if fleet_event is not None \
+                else self._decline("page_transition")
+        if not self._span_clear(interact_end, span_end, ignore=fleet_event):
+            return None if fleet_event is not None \
+                else self._blind_joint(peer)
         # Same query, same key as the real discard path — memoisation
         # counters advance identically; a ready page ends the storm.
         if rnic.odp.requester_range_ready(qp.qpn, c.head_mr, c.head_addr,
                                           c.head_chunk):
-            return self._decline("client_ready")
+            return None if fleet_event is not None \
+                else self._decline("client_ready")
 
         # --- Apply from the memo ---
         req = qp.requester
@@ -673,6 +789,12 @@ class StormCoalescer:
                                           chunk_sizes, resp_drains)
             c.rel_rows = tuple((row[0] - t,) + row[1:] for row in rows)
             c.events = events
+            # The tick-relative template a fleet sweep must hold constant
+            # across members, precomputed (memos are immutable once
+            # built) so the sweep compares one tuple per member.
+            c.shape_key = (c.count, c.responses, c.req_bytes, c.resp_bytes,
+                           c.rel_span, c.rel_interact, c.rel_busy,
+                           c.rel_flaw_until, c.events)
             self._blind_cache = c
         return True
 
@@ -710,6 +832,426 @@ class StormCoalescer:
         rows.extend(request_rows[i:])
         rows.extend(response_rows[j:])
         return rows
+
+    # ------------------------------------------------------------------
+    # Fleet fast-forward: batched delivery of whole tick horizons
+    # ------------------------------------------------------------------
+
+    def maybe_fleet(self) -> None:
+        """Absorb every provably-steady blind tick in the upcoming
+        horizon, in exact firing order, as one batched-delivery sweep.
+
+        Runs at the tail of a tick whose own round just replayed its
+        memo (``_fleet_ready``).  The engine's ready-event batch for the
+        horizon is walked in ``(time, seq)`` order — the exact order the
+        run loop would fire it.  Each member tick is vetted with the
+        same checks its own firing would perform (memo match, head
+        still waiting, page-status pre-filter, span clearance, range
+        readiness — via :meth:`_blind_fast` with the member's tick time)
+        and, when they all hold, its round is applied through the
+        fabric's closed-form bulk path, its timer retired, and its
+        re-arm drawn and scheduled from here.
+
+        Soundness rests on the quiet-window argument: between this tick
+        and the first non-absorbed event, only absorbed member ticks and
+        provably inert timers fire, so no foreign event is *created* in
+        the window either — re-arms drawn at the batch instant take the
+        very sequence numbers the real ticks would have drawn, RNG draws
+        stay in real order (member order is firing order, and the stale
+        count every period derives from is frozen), and every
+        same-timestamp tie downstream resolves identically.  The first
+        event that fails any check ends the sweep; everything from it on
+        fires for real.  Observers force per-packet delivery through
+        :meth:`Network.fleet_allowed` (chaos, trace hooks, taps, loss
+        rules) and per-member gates (telemetry, ``requires_real`` via
+        ``_peer``), matching the PR 3 fallback contract.
+        """
+        if not self._fleet_ready:
+            return
+        self._fleet_ready = False
+        self._fleet(None)
+
+    def _fleet(self, seed: Optional[_BlindRound]) -> bool:
+        """The sweep body behind :meth:`maybe_fleet`, optionally seeded.
+
+        With ``seed`` (the firing tick's own validated memo) the sweep
+        absorbs the *current* round as its first member — applying it
+        through the batched template, drawing and scheduling the tick's
+        re-arm at its real stream position — before walking the horizon,
+        so the seed shares the sweep's one bulk flush instead of paying
+        a standalone per-round replay.  Every seed gate failure returns
+        False with no state touched: the caller falls back to
+        :meth:`_blind_fast`, which re-runs the same checks (its one
+        repeated readiness query hits the coordinator's memo cache) and
+        keeps the decline/joint bookkeeping in a single place.  Returns
+        True iff the seed was absorbed.
+        """
+        qp = self.qp
+        rnic = qp.rnic
+        if rnic.arraycore is None:
+            return False
+        network = rnic.network
+        if not network.fleet_allowed(rnic.lid, qp.remote_lid):
+            return False
+        STATE_NORMAL, STATE_ODP_WAIT = _requester_states()
+        sim = self.sim
+        profile = rnic.profile
+        base = max(profile.odp_client_retransmit_ns,
+                   rnic.odp.stale_qp_count()
+                   * profile.odp_retransmit_per_qp_ns)
+        # One full blind period plus the jitter ceiling covers every
+        # stale QP's pending tick — but a status-engine transition ends
+        # any sweep (its completion resumes a page and the storm's
+        # steady state with it), so cap the horizon just short of the
+        # next one on either device: the walk then only covers events
+        # with a chance of absorbing.
+        horizon = sim.now + base + base // 8
+        next_transition = rnic.odp.next_transition_at()
+        if next_transition is not None and next_transition <= horizon:
+            horizon = next_transition - 1
+        peer_rnic = network.devices.get(qp.remote_lid)
+        if peer_rnic is not None:
+            next_transition = peer_rnic.odp.next_transition_at()
+            if next_transition is not None and next_transition <= horizon:
+                horizon = next_transition - 1
+        if horizon <= sim.now or rnic.telemetry is not None:
+            return False
+        remote_lid = qp.remote_lid
+        peer_rnic = network.devices.get(remote_lid)
+        if peer_rnic is None or not peer_rnic.lazy_payloads or not (
+                getattr(peer_rnic, "coalesce", False)
+                or getattr(peer_rnic, "arraycore", None) is not None):
+            return False
+        # Pre-classify the horizon's ready batch: collect the blind
+        # ticks, skip provably inert fault-raise timers (they stay
+        # pending and fire later as no-ops; requester states are frozen
+        # in the window, so the verdict here is the verdict at firing),
+        # and let the first *hard* event cap absorption strictly before
+        # its instant.  After this walk the window up to ``limit`` is
+        # proven to hold nothing but the collected ticks, so each
+        # member's span walk collapses to two integer comparisons (span
+        # within the limit, next tick past the interact end).
+        worklist: List[Tuple[int, int, object]] = []
+        limit = horizon
+        cached = self._sweep_cache
+        if cached is not None:
+            self._sweep_cache = None
+        if seed is None and cached is not None \
+                and cached[0] == sim.now and cached[1] == horizon:
+            # This follow-up re-enters within the event body whose seed
+            # attempt classified the window: between them the per-round
+            # replay scheduled exactly one event (the tick's own re-arm,
+            # merged here) and cancelled none — the joint path, which
+            # does both, drops the stash on entry — so the classified
+            # window survives verbatim and the ready-batch walk is
+            # skipped.
+            limit = cached[2]
+            worklist = cached[3]
+            rearm = qp.requester._blind_timer  # noqa: SLF001
+            if rearm is not None and not rearm.cancelled \
+                    and rearm.time <= limit:
+                insort(worklist, (rearm.time, rearm.seq, rearm))
+        else:
+            for event in sim.ready_batch(horizon):
+                fn = event.fn
+                name = getattr(fn, "__name__", None)
+                if name == "_blind_retransmit":
+                    worklist.append((event.time, event.seq, event))
+                    continue
+                if name == "_do_fault_raise":
+                    owner = getattr(fn, "__self__", None)
+                    if owner is not None and owner.state != STATE_NORMAL:
+                        continue
+                limit = event.time - 1
+                break
+        if seed is not None:
+            # Stash the classified window: on a seed-check failure the
+            # caller replays per-round and ``maybe_fleet`` re-enters at
+            # this same instant (the success tail below retracts this).
+            self._sweep_cache = (sim.now, horizon, limit, worklist)
+        if not worklist:
+            if seed is not None:
+                fails = self.seed_fails
+                fails["empty"] = fails.get("empty", 0) + 1
+            return False
+        odp = rnic.odp
+        tgen_now = peer_rnic.translation.generation
+        get_peer_qp = peer_rnic._qps.get  # noqa: SLF001
+        get_peer_mr = peer_rnic._mrs_by_rkey.get  # noqa: SLF001
+        qp_error = QpState.ERROR
+        # The blind period's base derives from the stale-QP count, which
+        # is frozen across the quiet window (absorbed rounds never touch
+        # ``_stale_by_qpn``), so every member's re-arm draws against the
+        # same base: hoist it, and inline the jitter's rejection loop
+        # (the exact ``Simulator.jitter`` algorithm — one ``getrandbits``
+        # per accepted draw, same stream positions as the real ticks).
+        spread = int(base * 0.1)
+        width = 2 * spread + 1
+        jbits = width.bit_length()
+        getrandbits = sim.rng.getrandbits
+        deadline_col = rnic.arraycore.col("blind_deadline")
+        range_ready = odp.requester_range_ready
+        # ``Simulator.timer_at`` inlined for the re-arm loop: fresh
+        # sequence number, wheel residency, live-event accounting — the
+        # deadline is provably >= now, so the guard is also hoisted.
+        wheel_insert = sim._wheel.insert  # noqa: SLF001
+        now_i = sim.now
+        up_a, down_b, up_b, down_a = self._storm_links(network, peer_rnic)
+        sinks = network.synthetic_sinks(rnic.lid, remote_lid)
+        # Tap sinks want per-round capture rows: route those sweeps
+        # through the memo replay (it synthesises and feeds the rows);
+        # otherwise batch — one template shape per sweep, per-member
+        # effects applied inline, shared aggregates booked once at the
+        # end through the fabric's bulk surfaces.
+        batched = not sinks
+        shape: Optional[Tuple] = None
+        rbmax = 0
+        n_batch = 0
+        last_t = 0
+        busy_floor = max(up_a._busy_until, down_b._busy_until,  # noqa: SLF001
+                         up_b._busy_until, down_a._busy_until)  # noqa: SLF001
+        applied_seed = False
+        if seed is not None:
+            # The firing tick's own round, vetted with exactly the
+            # member checks at t = now.  These imply everything
+            # ``_blind_fast`` would verify: idle links (the busy floor),
+            # the page-transition pre-filter and the span walk (span
+            # inside the proven-quiet limit, first pending tick past the
+            # interact end — the pre-scan already excluded every hard
+            # event), so absorbing here is exactly the per-round replay
+            # minus its standalone flush.
+            c = seed
+            req = qp.requester
+            peer_qp = get_peer_qp(qp.remote_qpn)
+            fails = self.seed_fails
+            if (not batched or peer_qp is None or peer_qp is not c.peer_qp
+                    or peer_qp.state is qp_error):
+                fails["peer"] = fails.get("peer", 0) + 1
+                return False
+            resp = peer_qp.responder
+            if resp.epsn != c.epsn or c.tgen != tgen_now:
+                fails["state"] = fails.get("state", 0) + 1
+                return False
+            if busy_floor > now_i:
+                fails["busy"] = fails.get("busy", 0) + 1
+                return False
+            for rkey, rmr in c.mrs:
+                if get_peer_mr(rkey) is not rmr:
+                    fails["state"] = fails.get("state", 0) + 1
+                    return False
+            if now_i + c.rel_span > limit:
+                fails["span"] = fails.get("span", 0) + 1
+                return False
+            if worklist[0][0] <= now_i + c.rel_interact:
+                fails["gap"] = fails.get("gap", 0) + 1
+                return False
+            if range_ready(qp.qpn, c.head_mr, c.head_addr, c.head_chunk):
+                fails["ready"] = fails.get("ready", 0) + 1
+                return False
+            for wqe in c.emit:
+                wqe.resp_received = 0
+            req.retransmitted_packets += c.count
+            req.responses_discarded_odp += 1
+            req._progress_stamp += 1  # noqa: SLF001
+            faulted = resp._faulted_psns  # noqa: SLF001
+            if faulted:
+                for psn in c.psns:
+                    faulted.discard(psn)
+            resp.duplicates_serviced += c.count
+            if c.rel_flaw_until is not None:
+                resp._flaw_drop_until = now_i + c.rel_flaw_until  # noqa: SLF001
+            self.blind_rounds += 1
+            # The tick's tail, replayed here so the sweep owns the whole
+            # event body: period draw (real stream position — before any
+            # member's), wheel re-arm, deadline write-through.
+            if spread > 0:
+                r = getrandbits(jbits)
+                while r >= width:
+                    r = getrandbits(jbits)
+                period = base - spread + r
+                if period < 0:
+                    period = 0
+            else:
+                period = base
+            deadline = now_i + period
+            sim._seq = seq = sim._seq + 1  # noqa: SLF001
+            rearm = Event(deadline, seq, req._blind_retransmit, ())
+            sim._pending += 1  # noqa: SLF001
+            wheel_insert(rearm, now_i)
+            req._blind_timer = rearm  # noqa: SLF001
+            deadline_col[qp.ac_slot] = deadline
+            if deadline <= limit:
+                insort(worklist, (deadline, seq, rearm))
+            shape = c.shape_key
+            rbmax = max(c.rel_busy)
+            busy_floor = now_i + rbmax
+            last_t = now_i
+            n_batch = 1
+            applied_seed = True
+        absorbed = 0
+        reason = None
+        index = 0
+        while index < len(worklist):
+            t_i, _seq, event = worklist[index]
+            index += 1
+            # Worklist entries were collected (and re-arms created) by
+            # ``_blind_retransmit`` name: always a bound requester method.
+            req = event.fn.__self__
+            if req.state != STATE_ODP_WAIT:
+                # Inert, like the pending fault-raise timers: the tick's
+                # first statement returns (states are frozen across the
+                # window), touching no state, no link, and no RNG — its
+                # real firing order is irrelevant, so leave it pending
+                # and keep sweeping.
+                continue
+            member = req.qp
+            mc = member.coalescer
+            if (member.rnic is not rnic or member.remote_lid != remote_lid
+                    or mc._joint_pending is not None):  # noqa: SLF001
+                reason = "member"
+                break
+            c = mc._blind_cache  # noqa: SLF001
+            if c is None or not mc._retransmit_matches(c.emit) \
+                    or not c.emit[0].fault_wait_registered:
+                reason = "memo"
+                break
+            if batched:
+                peer_qp = get_peer_qp(member.remote_qpn)
+                if (peer_qp is None or peer_qp is not c.peer_qp
+                        or peer_qp.state is qp_error):
+                    reason = "peer"
+                    break
+                resp = peer_qp.responder
+                if resp.epsn != c.epsn or c.tgen != tgen_now:
+                    reason = "state"
+                    break
+                stale_mr = False
+                for rkey, rmr in c.mrs:
+                    if get_peer_mr(rkey) is not rmr:
+                        stale_mr = True
+                        break
+                if stale_mr:
+                    reason = "state"
+                    break
+                if shape is None:
+                    shape = c.shape_key
+                    rbmax = max(c.rel_busy)
+                elif c.shape_key != shape:
+                    reason = "shape"
+                    break
+                if t_i + c.rel_span > limit:
+                    reason = "span"
+                    break
+                if t_i < busy_floor:
+                    reason = "busy"
+                    break
+                if index < len(worklist) \
+                        and worklist[index][0] <= t_i + c.rel_interact:
+                    reason = "gap"
+                    break
+                # Same query, same key, same order as the real discard
+                # path (memoisation counters must advance identically);
+                # a ready page ends the storm at this member's tick.
+                if range_ready(member.qpn, c.head_mr,
+                               c.head_addr, c.head_chunk):
+                    reason = "ready"
+                    break
+                # Per-member effects, straight from the memo.
+                for wqe in c.emit:
+                    wqe.resp_received = 0
+                req.retransmitted_packets += c.count
+                req.responses_discarded_odp += 1
+                req._progress_stamp += 1  # noqa: SLF001
+                faulted = resp._faulted_psns  # noqa: SLF001
+                if faulted:
+                    for psn in c.psns:
+                        faulted.discard(psn)
+                resp.duplicates_serviced += c.count
+                if c.rel_flaw_until is not None:
+                    resp._flaw_drop_until = (  # noqa: SLF001
+                        t_i + c.rel_flaw_until)
+                mc.blind_rounds += 1
+                busy_floor = t_i + rbmax
+                last_t = t_i
+                n_batch += 1
+            else:
+                peer = mc._peer()  # noqa: SLF001
+                if peer is None:
+                    reason = "peer"
+                    break
+                if mc._blind_fast(peer, c.emit, c, t=t_i,  # noqa: SLF001
+                                  fleet_event=event) is not True:
+                    reason = "replay"
+                    break
+            # Fully absorbed: retire the tick and replay the rest of its
+            # body — round counter, period draw (the shared RNG stream
+            # advances at its real position), wheel re-arm.  A re-arm
+            # landing inside the limit joins the sweep at its firing
+            # position, so one sweep can carry a QP through several
+            # rounds.
+            event.cancel()
+            req.blind_retransmit_rounds += 1
+            if spread > 0:
+                r = getrandbits(jbits)
+                while r >= width:
+                    r = getrandbits(jbits)
+                period = base - spread + r
+                if period < 0:
+                    period = 0
+            else:
+                period = base
+            deadline = t_i + period
+            sim._seq = seq = sim._seq + 1  # noqa: SLF001
+            rearm = Event(deadline, seq, event.fn, ())
+            sim._pending += 1  # noqa: SLF001
+            wheel_insert(rearm, now_i)
+            req._blind_timer = rearm  # noqa: SLF001
+            deadline_col[member.ac_slot] = deadline
+            if deadline <= limit:
+                insort(worklist, (deadline, seq, rearm))
+            absorbed += 1
+        if n_batch:
+            # Shared aggregates for the whole batch, booked once: NIC
+            # and port counters, link occupancy to the final member's
+            # busy horizon, switch forwards, packet serials, and the
+            # engine's coalescing ledger.
+            count, responses, req_bytes, resp_bytes = shape[:4]
+            rel_busy = shape[6]
+            total_req = count * n_batch
+            total_resp = responses * n_batch
+            total_req_bytes = req_bytes * n_batch
+            total_resp_bytes = resp_bytes * n_batch
+            client_stats = rnic.stats
+            client_stats["tx_packets"] += total_req
+            client_stats["tx_retransmissions"] += total_req
+            client_stats["rx_packets"] += total_resp
+            server_stats = peer_rnic.stats
+            server_stats["rx_packets"] += total_req
+            server_stats["tx_packets"] += total_resp
+            network.bulk_book(rnic.lid, total_req, total_req_bytes,
+                              total_resp, total_resp_bytes)
+            network.bulk_book(peer_rnic.lid, total_resp, total_resp_bytes,
+                              total_req, total_req_bytes)
+            up_a.bulk_occupy(total_req, total_req_bytes,
+                             last_t + rel_busy[0])
+            down_b.bulk_occupy(total_req, total_req_bytes,
+                               last_t + rel_busy[1])
+            up_b.bulk_occupy(total_resp, total_resp_bytes,
+                             last_t + rel_busy[2])
+            down_a.bulk_occupy(total_resp, total_resp_bytes,
+                               last_t + rel_busy[3])
+            network.switch.bulk_forward(total_req + total_resp)
+            advance_packet_serials(total_req + total_resp)
+            sim.note_coalesced(shape[8] * n_batch, shape[4] * n_batch)
+        self.fleet_rounds += absorbed
+        if reason is not None:
+            breaks = self.fleet_breaks
+            breaks[reason] = breaks.get(reason, 0) + 1
+        if applied_seed:
+            self._self_swept = True
+            self.seed_rounds += 1
+            self._sweep_cache = None
+        return applied_seed
 
     # ------------------------------------------------------------------
     # Joint multi-QP blind rounds
@@ -909,6 +1451,10 @@ class StormCoalescer:
         the final span that is not a participant's tick (or a tolerated
         tail tick, as in :meth:`_span_clear`) declines the round.
         """
+        # Joint synthesis pre-pays foreign ticks (touching their timer
+        # bookkeeping): any window a failed seed attempt classified is
+        # stale the moment this runs.
+        self._sweep_cache = None
         network, peer_rnic, _peer_qp = peer
         qp = self.qp
         rnic = qp.rnic
@@ -1235,6 +1781,7 @@ class StormCoalescer:
                            profile.rnr_delay_jitter)
         req._rnr_timer = sim.schedule_timer(  # noqa: SLF001
             nak_at + delay - t, req._rnr_recover)  # noqa: SLF001
+        req._ac_deadline("timer_deadline", nak_at + delay)  # noqa: SLF001
         req_bytes = count * _REQ_WIRE
         port_a = network.stats[rnic.lid]
         port_b = network.stats[peer_rnic.lid]

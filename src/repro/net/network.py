@@ -84,6 +84,14 @@ class Network:
         #: Consulted on every injection (packet faults) and by
         #: :meth:`requires_real` (active windows force per-packet).
         self.chaos: Optional[Any] = None
+        #: bulk-delivery path armed (:meth:`enable_bulk`): batches of
+        #: provably-quiet same-timestamp-grid rounds may cross the
+        #: fabric in closed form (:meth:`bulk_book` + per-hop
+        #: ``bulk_occupy``/``bulk_forward``) instead of one event per
+        #: hop.  Per-packet timing and end state are identical;
+        #: observers that need the real per-packet flow force a per-pair
+        #: fallback via :meth:`requires_real` / :meth:`fleet_allowed`.
+        self.bulk = False
         self.switch.on_drop = self._on_switch_drop
 
     # ------------------------------------------------------------------
@@ -247,6 +255,57 @@ class Network:
         stats.tx_packets += 1
         stats.tx_bytes += packet.wire_size
         self._links[src_lid].a_to_b.transmit(packet)
+
+    def enable_bulk(self) -> None:
+        """Arm the batched (closed-form) delivery path.  Idempotent.
+
+        This is a capability switch, not a routing change: packets
+        injected through :meth:`inject` still take the real per-event
+        path.  What it unlocks is the storm coalescer's *fleet*
+        fast-forward — whole provably-quiet retransmission rounds
+        applied arithmetically through :meth:`bulk_book`, the links'
+        ``bulk_occupy`` and the switch's ``bulk_forward`` — keyed off
+        the engine's ready-event batches.  Eligibility is re-checked
+        per batch via :meth:`fleet_allowed`, so arming an observer
+        mid-run falls traffic back to per-packet delivery exactly as
+        :meth:`requires_real` demands.
+        """
+        self.bulk = True
+
+    def fleet_allowed(self, src_lid: int, dst_lid: int) -> bool:
+        """May rounds between this LID pair be applied in closed form?
+
+        Observers that consume the *event stream* rather than handler
+        outcomes force the real path: engine trace hooks see every
+        scheduled event, a chaos engine may pause/flap/reorder any hop,
+        and taps-without-sink or loss rules scoped to either endpoint
+        already force per-packet flow through the PR 3
+        :meth:`requires_real` contract.  (Taps with synthetic sinks
+        keep observing coalesced rounds as bulk rows either way.)
+        """
+        if not self.bulk:
+            return False
+        if self.sim.trace_hooks or self.chaos is not None:
+            return False
+        if (self._taps or self._loss_rules) \
+                and self.requires_real(src_lid, dst_lid):
+            return False
+        return True
+
+    def bulk_book(self, lid: int, tx_packets: int, tx_bytes: int,
+                  rx_packets: int, rx_bytes: int) -> None:
+        """Advance one port's counters by a closed-form batch.
+
+        The batched-delivery machinery proves every packet of the batch
+        crosses the fabric cleanly (no drops, no corruption) before
+        booking, so only the success counters move — exactly the state
+        a packet-by-packet replay would leave.
+        """
+        stats = self.stats[lid]
+        stats.tx_packets += tx_packets
+        stats.tx_bytes += tx_bytes
+        stats.rx_packets += rx_packets
+        stats.rx_bytes += rx_bytes
 
     def record_injected_drop(self, src_lid: int, packet: Any,
                              reason: str) -> None:

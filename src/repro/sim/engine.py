@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.timerwheel import TimerWheel
 
@@ -112,6 +112,8 @@ class Simulator:
         #: and :meth:`pending_events` semantics are unchanged.
         self.events_coalesced: int = 0
         self.coalesced_ns: int = 0
+        #: ``jitter`` draw bit-widths keyed by sample width (see there).
+        self._jitter_specs: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Clock
@@ -169,6 +171,28 @@ class Simulator:
             raise SimulationError(f"negative delay: {delay}")
         self._seq += 1
         event = Event(self._now + int(delay), self._seq, fn, args)
+        self._pending += 1
+        self._wheel.insert(event)
+        return event
+
+    def timer_at(self, time: int, fn: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Arm a timer at an absolute timestamp (:meth:`at`'s contract,
+        :meth:`schedule_timer`'s wheel residency).
+
+        The batched-delivery fast-forward re-arms absorbed storm ticks
+        from the batch's own instant: the replacement timer must carry
+        the next fresh sequence number (the position the absorbed
+        tick's own re-arm would have drawn — nothing else schedules in
+        a proven-quiet window) and must live in the wheel so
+        steady-state floods keep the main heap small.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        self._seq += 1
+        event = Event(int(time), self._seq, fn, args)
         self._pending += 1
         self._wheel.insert(event)
         return event
@@ -369,6 +393,20 @@ class Simulator:
             events.extend(wheel.events_until(limit))
         return events
 
+    def ready_batch(self, limit: int) -> List[Event]:
+        """Live events firing at or before ``limit`` in exact firing
+        order (``(time, seq)``).
+
+        The batch-delivery consumers (the array core's joint-round
+        recruitment, bulk observers) need the events of a horizon *in
+        the order the run loop would fire them*, not the heap/wheel's
+        internal layout; this wraps :meth:`live_events_until` with that
+        ordering guarantee.  Read-only, like the probes it builds on.
+        """
+        events = self.live_events_until(limit)
+        events.sort(key=lambda event: (event.time, event.seq))
+        return events
+
     def note_coalesced(self, events: int, span_ns: int) -> None:
         """Record that a macro-event stood in for ``events`` per-packet
         events spanning ``span_ns`` of simulated time."""
@@ -386,11 +424,30 @@ class Simulator:
         return self.rng.randint(int(lo), int(hi))
 
     def jitter(self, base: int, fraction: float) -> int:
-        """Sample ``base`` +/- ``fraction`` relative jitter (clamped >= 0)."""
+        """Sample ``base`` +/- ``fraction`` relative jitter (clamped >= 0).
+
+        The draw is ``rng.randint(-spread, spread)`` with the three
+        layers of ``random.Random`` argument handling peeled off: both
+        resolve to the same rejection loop over ``getrandbits(k)`` with
+        ``k = (2*spread + 1).bit_length()``, so the shared Mersenne
+        stream advances identically either way (a test pins this).
+        This runs once per storm tick — tens of thousands of draws per
+        flood run.
+        """
         spread = int(base * fraction)
         if spread <= 0:
             return base
-        return max(0, base + self.rng.randint(-spread, spread))
+        width = 2 * spread + 1
+        bits = self._jitter_specs.get(width)
+        if bits is None:
+            bits = width.bit_length()
+            self._jitter_specs[width] = bits
+        getrandbits = self.rng.getrandbits
+        r = getrandbits(bits)
+        while r >= width:
+            r = getrandbits(bits)
+        value = base - spread + r
+        return value if value > 0 else 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Simulator t={self._now}ns queue={len(self._queue)}"

@@ -42,6 +42,11 @@ SWEEP_MIN = 64
 #: "No occupied slot" sentinel for the cached next-deadline bound.
 FAR_FUTURE = 1 << 62
 
+#: ``enumerate(LEVEL_SHIFTS)`` materialised once: ``insert`` runs for
+#: every armed timer, and the enumerate object per call is measurable
+#: in deep floods.
+_LEVELS = tuple(enumerate(LEVEL_SHIFTS))
+
 
 class TimerWheel:
     """Per-:class:`Simulator` timer index; see the module docstring."""
@@ -74,7 +79,7 @@ class TimerWheel:
         if now is None:
             now = self.sim.now
         time = event.time
-        for level, shift in enumerate(LEVEL_SHIFTS):
+        for level, shift in _LEVELS:
             if (time >> shift) - (now >> shift) < LEVEL_SPAN:
                 key = time >> shift
                 slots = self._slots[level]

@@ -97,3 +97,48 @@ def test_fig09_parallel_wall_clock_speedup():
     assert serial.render() == parallel.render()
     assert parallel_s <= 0.5 * serial_s, \
         f"parallel {parallel_s:.1f}s vs serial {serial_s:.1f}s"
+
+
+class TestChunksize:
+    """The dispatch-granularity knob: explicit argument beats the
+    ``REPRO_CHUNKSIZE`` environment, which beats the auto heuristic."""
+
+    def test_auto_chunksize_pinned_values(self):
+        # A quarter of the per-worker share, floored at 1.
+        assert runner.auto_chunksize(100, 8) == 3
+        assert runner.auto_chunksize(64, 4) == 4
+        assert runner.auto_chunksize(7, 8) == 1
+        assert runner.auto_chunksize(0, 8) == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "9")
+        assert runner.resolve_chunksize(100, 8, chunksize=5) == 5
+        assert runner.resolve_chunksize(100, 8, chunksize=0) == 1
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "7")
+        assert runner.resolve_chunksize(100, 8) == 7
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "0")
+        assert runner.resolve_chunksize(100, 8) == 1
+
+    def test_malformed_env_falls_back_to_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "not-a-number")
+        assert runner.resolve_chunksize(100, 8) == 3
+        monkeypatch.delenv("REPRO_CHUNKSIZE")
+        assert runner.resolve_chunksize(100, 8) == 3
+
+    def test_sweep_results_identical_at_any_chunksize(self):
+        points = list(range(17))
+        expected = [p * p for p in points]
+        for chunksize in (1, 4, 17, 100):
+            got = sweep(_square, points, processes=2,
+                        chunksize=chunksize)
+            assert got == expected
+
+    def test_cli_chunksize_exports_env(self, monkeypatch):
+        from repro import cli
+        monkeypatch.delenv("REPRO_CHUNKSIZE", raising=False)
+        monkeypatch.setattr(cli, "EXPERIMENTS",
+                            {"noop": lambda fast, seed, jobs: "ok"})
+        assert cli.main(["noop", "--chunksize", "2"]) == 0
+        assert os.environ["REPRO_CHUNKSIZE"] == "2"

@@ -6,6 +6,7 @@ from repro.sim.engine import SimulationError, Simulator
 from repro.sim.future import Future, FutureError, all_of
 from repro.sim.process import Process, ProcessError
 from repro.sim.timebase import MS, US, ns_to_ms, ns_to_s, ns_to_us
+from repro.sim.timerwheel import LEVEL_SHIFTS, LEVEL_SPAN
 
 
 class TestScheduling:
@@ -378,3 +379,144 @@ class TestProcess:
         sim.schedule(5, gate.fail, RuntimeError("transient"))
         sim.run_until_idle()
         assert proc.result == 105
+
+
+class TestTimerWheelBoundaries:
+    """Slot-edge and cascade behavior of the hierarchical wheel's
+    read-only probes (``earliest_until`` / ``events_until``).
+
+    The fleet fast-forward trusts these probes to classify a quiet
+    window exactly: an event reported one slot early or late would let a
+    sweep absorb a round that a foreign tick should have interrupted.
+    """
+
+    SLOT = 1 << LEVEL_SHIFTS[0]
+
+    def test_exact_slot_boundary(self):
+        """A timer at exactly ``k << 16`` sits on a slot edge: the probe
+        must report by expiry time, not slot membership."""
+        sim = Simulator()
+        expiry = 4 * self.SLOT
+        sim.schedule_timer(expiry, lambda: None)
+        wheel = sim._wheel
+        assert wheel.earliest_until(expiry - 1) is None
+        assert wheel.earliest_until(expiry) == expiry
+        assert wheel.events_until(expiry - 1) == []
+        assert [e.time for e in wheel.events_until(expiry)] == [expiry]
+
+    def test_adjacent_slots(self):
+        """Timers one tick apart across a slot edge resolve
+        independently."""
+        sim = Simulator()
+        below = 7 * self.SLOT - 1
+        above = 7 * self.SLOT
+        sim.schedule_timer(below, lambda: None)
+        sim.schedule_timer(above, lambda: None)
+        wheel = sim._wheel
+        assert wheel.earliest_until(below) == below
+        assert [e.time for e in wheel.events_until(below)] == [below]
+        assert sorted(e.time for e in wheel.events_until(above)) \
+            == [below, above]
+
+    def test_limit_inside_occupied_slot(self):
+        """A limit that lands mid-slot must not surface a later timer
+        filed in the same slot."""
+        sim = Simulator()
+        expiry = 9 * self.SLOT + 1000
+        sim.schedule_timer(expiry, lambda: None)
+        wheel = sim._wheel
+        assert wheel.earliest_until(expiry - 1) is None
+        assert wheel.events_until(9 * self.SLOT + 999) == []
+        assert wheel.earliest_until(expiry) == expiry
+
+    def test_coarse_level_reports_exact_expiry(self):
+        """An event beyond level 0's span files coarsely, but the probes
+        still answer with its exact expiry, not its slot start."""
+        sim = Simulator()
+        expiry = (LEVEL_SPAN + 10) * self.SLOT + 12345
+        sim.schedule_timer(expiry, lambda: None)
+        wheel = sim._wheel
+        # Filed above level 0: no level-0 slot holds it.
+        assert not wheel._slots[0]
+        assert wheel._slots[1]
+        assert wheel.earliest_until(expiry - 1) is None
+        assert wheel.earliest_until(expiry) == expiry
+        assert [e.time for e in wheel.events_until(expiry)] == [expiry]
+
+    def test_probes_exact_across_cascade(self):
+        """``promote_until`` re-files a coarse slot into a finer level
+        when the limit passes the slot's start but not the expiry; the
+        probes and the firing time must be unchanged by the cascade."""
+        sim = Simulator()
+        expiry = (LEVEL_SPAN + 10) * self.SLOT + 777
+        fired = []
+        sim.schedule_timer(expiry, lambda: fired.append(sim.now))
+        wheel = sim._wheel
+        assert wheel._slots[1] and not wheel._slots[0]
+        promoted = []
+        # Past the level-1 slot's start, short of the expiry: the event
+        # must cascade to level 0, not surface to the heap.
+        wheel.promote_until((LEVEL_SPAN + 2) * self.SLOT,
+                            promoted.append)
+        assert promoted == []
+        assert wheel._slots[0] and not wheel._slots[1]
+        assert wheel.earliest_until(expiry - 1) is None
+        assert wheel.earliest_until(expiry) == expiry
+        assert [e.time for e in wheel.events_until(expiry)] == [expiry]
+        sim.run_until_idle()
+        assert fired == [expiry]
+
+    def test_live_surface_exact_while_clock_advances(self):
+        """The engine may migrate wheel timers to the heap as the clock
+        advances; the combined ``live_events_until`` surface (what the
+        storm coalescer's quiet-window proofs read) must stay exact
+        through every stride."""
+        sim = Simulator()
+        expiry = (LEVEL_SPAN + 10) * self.SLOT + 777
+        fired = []
+        sim.schedule_timer(expiry, lambda: fired.append(sim.now))
+        stride = (LEVEL_SPAN - 1) * self.SLOT
+        now = 0
+        while now + stride < expiry:
+            now += stride
+            sim.run(until=now)
+            assert sim.live_events_until(expiry - 1) == []
+            assert [e.time for e in sim.live_events_until(expiry)] \
+                == [expiry]
+        sim.run_until_idle()
+        assert fired == [expiry]
+
+    def test_cancelled_timer_invisible_after_cascade(self):
+        """A cancelled coarse timer is dropped by the cascade, not
+        re-filed; a live timer in a later coarse slot is untouched."""
+        sim = Simulator()
+        expiry = (LEVEL_SPAN + 4) * self.SLOT
+        fired = []
+        event = sim.schedule_timer(expiry, lambda: fired.append(True))
+        keep = 2 * expiry
+        sim.schedule_timer(keep, lambda: None)
+        event.cancel()
+        wheel = sim._wheel
+        assert wheel.earliest_until(expiry) is None
+        promoted = []
+        wheel.promote_until((LEVEL_SPAN + 8) * self.SLOT,
+                            promoted.append)
+        assert promoted == []
+        assert wheel.earliest_until(expiry) is None
+        assert wheel.events_until(expiry) == []
+        assert wheel.earliest_until(keep) == keep
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_jitter_matches_documented_stream(self):
+        """``Simulator.jitter`` docstring: same stream consumption as
+        ``rng.randint(-spread, spread)`` — pinned here."""
+        import random as _random
+        for seed in (0, 3, 50):
+            sim = Simulator(seed=seed)
+            reference = _random.Random(seed)
+            for base in (1000, 54321, 999_983):
+                spread = int(base * 0.1)
+                expected = max(0, base + reference.randint(-spread,
+                                                           spread))
+                assert sim.jitter(base, 0.1) == expected
