@@ -14,24 +14,45 @@ bulk-delivery surfaces (``Link.bulk_occupy``, ``Switch.bulk_forward``,
 storm coalescing: every reported metric stays bit-identical to the
 object path, enforced here on every workload.
 
-Each workload is a window-1 client-ODP flood (``max_rd_atomic=1``, the
-shape Section VI-B's retransmission analysis reasons about) measured in
-four modes::
+Each classic workload is a window-1 client-ODP flood
+(``max_rd_atomic=1``, the shape Section VI-B's retransmission analysis
+reasons about) measured in four modes::
 
     object          per-QP objects, per-round storm replay off
     object_coalesce per-QP objects + closed-form storm coalescing (PR 5)
     array           array mirror + fleet batched delivery
     array_coalesce  both layers composed
 
+The ``*_shard`` workloads (and the 64k-QP headline row) run the same
+flood as a **fleet**: ``num_groups`` independent client/server QP
+groups executed through the shard layer
+(:mod:`repro.experiments.shard`) at each listed shard count, always
+with both fast-forward layers on.  ``shardsN`` rows must be
+bit-identical to each other (the ``shards1`` row is the in-process
+reference), and ``decomposition_speedup`` compares the best shard wall
+against the same run's classic ``array_coalesce`` wall at equal QP/op
+counts — the wall-clock value of decomposing one big simulator into
+many small ones (per-op cost grows superlinearly with fleet size) plus
+whatever true parallelism the machine offers.
+
+``coalesce_ratio`` is the satellite gate for stacking the storm
+coalescer on the array core: the *paired* per-repeat ratio
+``wall(array_coalesce) / wall(array)``, minimum over repeats, which
+cancels machine drift that independent best-of-N walls cannot.  The
+check fails when it exceeds :data:`COALESCE_RATIO_CEILING`.
+
 Run ``python -m repro.bench.scalebench`` from the repo root; it writes
 ``BENCH_scale.json`` (see the README's Performance section).  Use
-``--smoke`` in CI for a minutes-long 1k-QP run, ``--check
-BENCH_scale.json`` to fail when a freshly measured speedup regresses
-more than 30% below the committed report (speedup ratios are
-machine-independent; raw wall-clock seconds are not) or when any
-workload breaks bit-identity, and ``--max-wall SECONDS`` to enforce an
-absolute wall-clock ceiling on the measured ``array`` mode (the CI
-scale-smoke gate).
+``--smoke`` in CI for a minutes-long 1k-QP run (classic + shard
+workloads), ``--shard-smoke`` for the CI shard gate (4k-QP fleet at 2
+and 4 shards: bit-identity + wall ceiling), ``--shards N`` to measure
+a specific worker count, ``--check BENCH_scale.json`` to fail when a
+freshly measured speedup regresses more than 30% below the committed
+report (speedup ratios are machine-independent; raw wall-clock seconds
+are not), when any workload breaks bit-identity, or when the paired
+coalesce ratio exceeds its ceiling, and ``--max-wall SECONDS`` to
+enforce an absolute wall-clock ceiling on each workload's fastest
+measured accelerated mode (the CI smoke gates).
 """
 
 from __future__ import annotations
@@ -60,10 +81,42 @@ _MODES = (
 #: the 1k point under its full-mode name (fewer repeats) so a smoke
 #: ``--check`` still compares against the committed baseline.
 _WORKLOADS = {
-    "qps1k": dict(num_qps=1024, num_ops=4096, repeats=3),
+    "qps1k": dict(num_qps=1024, num_ops=4096, repeats=5),
     "qps4k": dict(num_qps=4096, num_ops=16384, repeats=3),
     "qps16k": dict(num_qps=16384, num_ops=65536, repeats=1),
 }
+
+#: Fleet workloads for the shard layer.  ``num_groups`` independent
+#: 256-QP client/server groups; ``shard_counts`` lists the worker
+#: counts measured (the first is the bit-identity reference —
+#: ``shard_counts[0] == 1`` keeps the in-process path as reference).
+#: ``pair_reference`` names the classic workload whose
+#: ``array_coalesce`` wall anchors ``decomposition_speedup`` — same
+#: total QPs and ops, one monolithic simulator instead of a fleet.
+#: The 64k headline row has no classic twin: a single-process 64k-QP
+#: object run costs tens of minutes, which is exactly the ceiling the
+#: shard tier removes.
+_SHARD_WORKLOADS = {
+    "qps1k_shard": dict(num_qps=1024, num_ops=4096, num_groups=4,
+                        shard_counts=(1, 2), repeats=3,
+                        pair_reference="qps1k"),
+    "qps4k_shard": dict(num_qps=4096, num_ops=16384, num_groups=16,
+                        shard_counts=(1, 2, 4), repeats=1,
+                        pair_reference="qps4k"),
+    "qps16k_shard": dict(num_qps=16384, num_ops=65536, num_groups=64,
+                         shard_counts=(1, 8), repeats=1,
+                         pair_reference="qps16k"),
+    "qps64k": dict(num_qps=65536, num_ops=262144, num_groups=256,
+                   shard_counts=(1, 8), repeats=1,
+                   pair_reference=None),
+}
+
+#: Paired-ratio ceiling for stacking coalescing on the array core: the
+#: per-repeat ratio ``wall(array_coalesce) / wall(array)`` may not
+#: exceed this at any fleet size (with the arraycore-first early-out in
+#: ``StormCoalescer._peer`` the two modes execute identical instruction
+#: streams, so anything past measurement jitter is a regression).
+COALESCE_RATIO_CEILING = 1.05
 
 
 def _flood_config(coalesce: bool, arraycore: bool, num_qps: int,
@@ -99,15 +152,20 @@ def _scale_point(num_qps: int, num_ops: int, repeats: int,
     """Wall-clock one flood point in every mode.
 
     Best-of-``repeats`` walls per mode, runs interleaved across modes so
-    slow machine phases (thermal, scheduler) hit all modes alike; the
-    bit-identity comparison uses the full metric surface of each mode's
-    last run against the ``object`` reference.
+    slow machine phases (thermal, scheduler) hit all modes alike, with
+    the mode order reversed on odd repeats (ABBA): a fixed order always
+    taxes whichever mode runs last with the drift the repeat
+    accumulated, which at small fleets is the same few percent as the
+    array/array_coalesce gap itself.  The bit-identity comparison uses
+    the full metric surface of each mode's last run against the
+    ``object`` reference.
     """
     point: Dict[str, Any] = {"num_qps": num_qps, "num_ops": num_ops}
     walls: Dict[str, List[float]] = {name: [] for name, _c, _a in modes}
     surfaces: Dict[str, Dict[str, Any]] = {}
-    for _ in range(repeats):
-        for name, coalesce, arraycore in modes:
+    for rep in range(repeats):
+        order = modes if rep % 2 == 0 else tuple(reversed(modes))
+        for name, coalesce, arraycore in order:
             cfg = _flood_config(coalesce, arraycore, num_qps, num_ops)
             started = time.perf_counter()
             result = run_microbench(cfg)
@@ -130,28 +188,117 @@ def _scale_point(num_qps: int, num_ops: int, repeats: int,
         point["speedup_coalesce"] = round(
             point["object_coalesce"]["wall_s"]
             / point["array_coalesce"]["wall_s"], 2)
+    if walls.get("array") and walls.get("array_coalesce"):
+        # Paired per-repeat ratio: same repeat, adjacent runs, so the
+        # machine drift that makes independent best-of-N walls cross
+        # over at small fleets cancels out of the quotient.
+        point["coalesce_ratio"] = round(
+            min(ac / a for a, ac in zip(walls["array"],
+                                        walls["array_coalesce"])), 3)
     return point
 
 
-def run_bench(smoke: bool) -> Dict[str, Any]:
-    """Measure the 1k point alone in smoke mode, the full 1k/4k/16k
-    sweep otherwise."""
-    if smoke:
-        point = dict(_WORKLOADS["qps1k"], repeats=2)
-        return {"qps1k": _scale_point(**point)}
-    return {name: _scale_point(**_WORKLOADS[name]) for name in _WORKLOADS}
+def _shard_point(num_qps: int, num_ops: int, num_groups: int,
+                 shard_counts, repeats: int) -> Dict[str, Any]:
+    """Wall-clock one fleet point at every shard count.
+
+    Both fast-forward layers stay on (each shard keeps its own storm
+    coalescer and array core); the bit-identity comparison runs the
+    full metric surface of every shard count against the first listed
+    count — with ``shard_counts[0] == 1`` that is the in-process
+    single-shard reference the ISSUE's merge contract is stated
+    against.
+    """
+    base = dataclasses.replace(
+        _flood_config(True, True, num_qps, num_ops),
+        num_groups=num_groups)
+    point: Dict[str, Any] = {"num_qps": num_qps, "num_ops": num_ops,
+                             "num_groups": num_groups}
+    walls: Dict[int, List[float]] = {count: [] for count in shard_counts}
+    surfaces: Dict[int, Dict[str, Any]] = {}
+    for rep in range(repeats):
+        # Same ABBA scheme as _scale_point: no shard count always last.
+        order = shard_counts if rep % 2 == 0 else tuple(
+            reversed(shard_counts))
+        for count in order:
+            cfg = dataclasses.replace(base, shards=count)
+            started = time.perf_counter()
+            result = run_microbench(cfg)
+            walls[count].append(time.perf_counter() - started)
+            surfaces[count] = _metrics(result)
+    reference = surfaces[shard_counts[0]]
+    for count in shard_counts:
+        point[f"shards{count}"] = {
+            "wall_s": round(min(walls[count]), 4),
+            "bit_identical": surfaces[count] == reference,
+        }
+    point["total_packets"] = reference["total_packets"]
+    point["execution_time_ns"] = reference["execution_time_ns"]
+    point["bit_identical"] = all(point[f"shards{count}"]["bit_identical"]
+                                 for count in shard_counts)
+    return point
+
+
+def run_bench(smoke: bool, shard_smoke: bool = False,
+              shards: Optional[int] = None) -> Dict[str, Any]:
+    """Measure the workload grid.
+
+    Full mode: every classic point plus every fleet point.  ``--smoke``:
+    the 1k classic point and the 1k fleet point (so a smoke ``--check``
+    vets shard entries of the committed baseline too).
+    ``--shard-smoke``: only the 4k fleet point at 1/2/4 shards — the CI
+    shard gate.  ``shards``, when given, replaces each fleet point's
+    measured counts with ``(1, shards)`` (1 stays so bit-identity is
+    still checked against the in-process reference).
+    """
+    if shard_smoke:
+        classic_names, shard_names = (), ("qps4k_shard",)
+    elif smoke:
+        classic_names, shard_names = ("qps1k",), ("qps1k_shard",)
+    else:
+        classic_names = tuple(_WORKLOADS)
+        shard_names = tuple(_SHARD_WORKLOADS)
+    workloads: Dict[str, Any] = {}
+    for name in classic_names:
+        spec = dict(_WORKLOADS[name])
+        if smoke:
+            spec["repeats"] = 2
+        workloads[name] = _scale_point(**spec)
+    for name in shard_names:
+        spec = dict(_SHARD_WORKLOADS[name])
+        pair_reference = spec.pop("pair_reference")
+        if shards is not None:
+            spec["shard_counts"] = (1, shards) if shards != 1 else (1,)
+        point = _shard_point(**spec)
+        reference = workloads.get(pair_reference) if pair_reference else None
+        if reference is not None and "array_coalesce" in reference:
+            best = min(point[f"shards{count}"]["wall_s"]
+                       for count in spec["shard_counts"])
+            point["decomposition_speedup"] = round(
+                reference["array_coalesce"]["wall_s"] / best, 2)
+        workloads[name] = point
+    return workloads
+
+
+def _mode_keys(point: Dict[str, Any]) -> set:
+    """The per-mode sub-dicts of a workload point (``wall_s`` rows)."""
+    return {key for key, value in point.items()
+            if isinstance(value, dict) and "wall_s" in value}
 
 
 def check_report(report: Dict[str, Any], committed_path: str,
                  tolerance: float = 0.7) -> List[str]:
     """Regression gate: compare ``report`` to the committed baseline.
 
-    Bit-identity must hold in the measured report; speedup ratios
-    (machine-independent) are compared per shared workload and fail
-    below ``tolerance`` x the committed value.  Workloads present on
-    only one side are reported by name rather than crashing — a smoke
-    run checked against the full committed report only vets the shapes
-    it measured.
+    Bit-identity must hold in the measured report, the paired coalesce
+    ratio must stay under :data:`COALESCE_RATIO_CEILING`, and speedup
+    ratios (machine-independent) are compared per shared workload and
+    fail below ``tolerance`` x the committed value.  Every finding is
+    collected and reported per workload and per key — mismatched
+    workload sets, mismatched per-mode wall/identity keys, one-sided
+    speedup keys — instead of crashing (or silently passing) on the
+    first missing field.  A smoke run checked against the full
+    committed report only vets the shapes it measured.
     """
     with open(committed_path) as fh:
         committed = json.load(fh)
@@ -167,15 +314,37 @@ def check_report(report: Dict[str, Any], committed_path: str,
             f"measured workloads unknown to the baseline: "
             f"{extra or '[]'} (wrong or outdated baseline file?)")
         return failures
-    for name, point in measured.items():
+    for name, point in sorted(measured.items()):
         if not point.get("bit_identical", False):
-            failures.append(f"workload {name}: array-mode metrics diverge "
-                            "from the object reference")
+            reference = ("the single-shard reference"
+                         if "num_groups" in point
+                         else "the object reference")
+            failures.append(f"workload {name}: accelerated-mode metrics "
+                            f"diverge from {reference}")
+        ratio = point.get("coalesce_ratio")
+        if ratio is not None and ratio > COALESCE_RATIO_CEILING:
+            failures.append(
+                f"workload {name}: paired array_coalesce/array wall "
+                f"ratio {ratio} exceeds {COALESCE_RATIO_CEILING} — "
+                "stacking coalescing on the array core lost wall clock")
         baseline = baseline_workloads.get(name)
         if baseline is None:
             continue
-        for key in ("speedup", "speedup_coalesce"):
-            if key not in point or key not in baseline:
+        missing_modes = sorted(_mode_keys(baseline) - _mode_keys(point))
+        extra_modes = sorted(_mode_keys(point) - _mode_keys(baseline))
+        if missing_modes or extra_modes:
+            failures.append(
+                f"workload {name}: mode keys differ from the baseline "
+                f"(missing from this run: {missing_modes or '[]'}; "
+                f"unknown to the baseline: {extra_modes or '[]'})")
+        for key in ("speedup", "speedup_coalesce",
+                    "decomposition_speedup"):
+            if (key in point) != (key in baseline):
+                side = "this run" if key in baseline else "the baseline"
+                failures.append(f"workload {name}: {key} is missing from "
+                                f"{side} (schema drift?)")
+                continue
+            if key not in baseline:
                 continue
             floor = baseline[key] * tolerance
             if point[key] < floor:
@@ -197,39 +366,73 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "object-path engine at 1k/4k/16k QPs and write "
                     "BENCH_scale.json.")
     parser.add_argument("--smoke", action="store_true",
-                        help="run only the 1k-QP point (CI scale smoke)")
+                        help="run only the 1k-QP classic and fleet "
+                             "points (CI scale smoke)")
+    parser.add_argument("--shard-smoke", action="store_true",
+                        help="run only the 4k-QP fleet point at 1/2/4 "
+                             "shards (CI shard gate: bit-identity plus "
+                             "--max-wall)")
+    parser.add_argument("--shards", type=int, metavar="N", default=None,
+                        help="measure fleet workloads at N worker "
+                             "processes (plus the 1-shard in-process "
+                             "reference for bit-identity); default: "
+                             "each workload's built-in shard counts")
     parser.add_argument("--output", default="BENCH_scale.json",
                         help="output path (default: ./BENCH_scale.json)")
     parser.add_argument("--check", metavar="BASELINE", default=None,
                         help="compare against a committed report; exit 1 "
-                             "on >30%% speedup regression or broken "
-                             "bit-identity")
+                             "on >30%% speedup regression, broken "
+                             "bit-identity, or a paired coalesce ratio "
+                             "above the ceiling")
     parser.add_argument("--max-wall", type=float, metavar="SECONDS",
                         default=None,
-                        help="fail when any measured array-mode wall "
-                             "clock exceeds this ceiling")
+                        help="fail when any workload's fastest "
+                             "accelerated-mode wall clock exceeds this "
+                             "ceiling")
     args = parser.parse_args(argv)
+    if args.shards is not None and args.shards < 1:
+        parser.error("--shards must be >= 1")
 
+    if args.shard_smoke:
+        mode = "shard-smoke"
+    elif args.smoke:
+        mode = "smoke"
+    else:
+        mode = "full"
     report = {
         "bench": "repro.bench.scalebench",
-        "mode": "smoke" if args.smoke else "full",
+        "mode": mode,
         "python": sys.version.split()[0],
-        "workloads": run_bench(args.smoke),
+        "workloads": run_bench(args.smoke, shard_smoke=args.shard_smoke,
+                               shards=args.shards),
     }
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=False)
         fh.write("\n")
     print(json.dumps(report, indent=2))
     failures: List[str] = []
+    for name, point in report["workloads"].items():
+        # Bit-identity is non-negotiable whatever flags ran: a fleet
+        # merge or array mode that diverges from its reference must
+        # fail even without --check.
+        if not point.get("bit_identical", False):
+            failures.append(f"workload {name}: accelerated-mode metrics "
+                            "diverge from their reference")
     if args.check is not None:
-        failures.extend(check_report(report, args.check))
+        seen = set(failures)
+        failures.extend(f for f in check_report(report, args.check)
+                        if f not in seen and "diverge" not in f)
     if args.max_wall is not None:
         for name, point in report["workloads"].items():
-            wall = point["array"]["wall_s"]
+            accelerated = _mode_keys(point) - {"object", "object_coalesce"}
+            if not accelerated:
+                continue
+            wall = min(point[key]["wall_s"] for key in accelerated)
             if wall > args.max_wall:
                 failures.append(
-                    f"workload {name}: array wall clock {wall:.2f}s "
-                    f"exceeds the {args.max_wall:.2f}s ceiling")
+                    f"workload {name}: fastest accelerated wall clock "
+                    f"{wall:.2f}s exceeds the {args.max_wall:.2f}s "
+                    "ceiling")
     if failures:
         for failure in failures:
             print(f"CHECK FAILED: {failure}", file=sys.stderr)

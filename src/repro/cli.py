@@ -291,11 +291,18 @@ def main(argv: List[str] = None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {unknown}; "
                      f"try 'list'")
-    for name in names:
-        started = time.time()
-        print(f"=== {name} ===")
-        print(EXPERIMENTS[name](args.fast, args.seed, args.jobs))
-        print(f"--- {name} done in {time.time() - started:.1f}s ---\n")
+    # One worker pool for the whole invocation: figure helpers run
+    # several sweeps back to back (fig09's mode grid, tab13's cells,
+    # `all`), and the session lets them share one pool spawn.  The pool
+    # is created lazily, so serial figures never fork.
+    from repro.experiments.runner import sweep_session
+
+    with sweep_session(processes=args.jobs):
+        for name in names:
+            started = time.time()
+            print(f"=== {name} ===")
+            print(EXPERIMENTS[name](args.fast, args.seed, args.jobs))
+            print(f"--- {name} done in {time.time() - started:.1f}s ---\n")
     return 0
 
 

@@ -22,19 +22,27 @@ Workers must be module-level functions and points picklable tuples —
 ``ProcessPoolExecutor`` ships both to the pool.  Nested sweeps (a sweep
 inside a worker) automatically degrade to serial so a figure that fans
 out trials cannot fork a pool per worker.
+
+Entry points that run several sweeps back to back (the figure CLIs, the
+shard benchmarks) wrap them in :func:`sweep_session` so one worker pool
+is spawned once and reused — results are bit-identical either way.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, TypeVar
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, List, Optional, TypeVar
 
 Point = TypeVar("Point")
 Result = TypeVar("Result")
 
 #: Set inside pool workers so nested sweep() calls stay serial.
 _IN_WORKER_ENV = "REPRO_IN_SWEEP_WORKER"
+
+#: The innermost active :func:`sweep_session`, or None.
+_SESSION: Optional["_SweepSession"] = None
 
 
 def serial_forced() -> bool:
@@ -96,6 +104,70 @@ def resolve_chunksize(num_points: int, jobs: int,
     return auto_chunksize(num_points, jobs)
 
 
+class _SweepSession:
+    """A lazily created worker pool shared by consecutive sweeps.
+
+    The pool is spawned on the first parallel sweep inside the session
+    (a session whose sweeps all short-circuit to serial never forks) and
+    shut down when the session exits.  Worker count is fixed at creation
+    — the first parallel sweep's job count — because a
+    ``ProcessPoolExecutor`` cannot grow; later sweeps simply use however
+    many of those workers their point count needs.
+    """
+
+    def __init__(self, processes: Optional[int] = None):
+        self.processes = processes
+        self.pool: Optional[ProcessPoolExecutor] = None
+        #: sweeps that went through the pooled path (tests/diagnostics).
+        self.pooled_sweeps = 0
+
+    def executor(self, jobs: int) -> ProcessPoolExecutor:
+        """The session pool, created on first use with ``jobs`` workers
+        (or the session's pinned ``processes`` when given)."""
+        if self.pool is None:
+            workers = self.processes if self.processes is not None else jobs
+            self.pool = ProcessPoolExecutor(max_workers=max(1, workers),
+                                            initializer=_mark_worker)
+        return self.pool
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.shutdown()
+            self.pool = None
+
+
+@contextmanager
+def sweep_session(processes: Optional[int] = None
+                  ) -> Iterator[_SweepSession]:
+    """Reuse one worker pool across every :func:`sweep` in the block.
+
+    Figure CLIs and shard benchmarks run several sweeps back to back;
+    without a session each pays pool spawn plus a fresh interpreter
+    import per worker.  Inside a session the first parallel sweep forks
+    the pool and later sweeps reuse it.  Results are bit-identical with
+    and without a session (a test enforces this): the pool only changes
+    *where* points execute, never their seeds or ordering, and workers
+    hold no state between map calls that a point could observe — every
+    point builds its own simulator from its own seed.
+
+    Sessions nest by reusing the innermost active session's pool, so a
+    helper that opens its own session composes with a caller that
+    already did.  ``processes`` pins the pool's worker count; by default
+    the first parallel sweep's job count decides.
+    """
+    global _SESSION
+    if _SESSION is not None:
+        yield _SESSION
+        return
+    session = _SweepSession(processes)
+    _SESSION = session
+    try:
+        yield session
+    finally:
+        _SESSION = None
+        session.close()
+
+
 def sweep(fn: Callable[[Point], Result], points: Iterable[Point],
           processes: Optional[int] = None,
           chunksize: Optional[int] = None,
@@ -134,12 +206,22 @@ def sweep(fn: Callable[[Point], Result], points: Iterable[Point],
                 progress(len(results), total)
         return results
     chunksize = resolve_chunksize(len(todo), jobs, chunksize)
+    if _SESSION is not None:
+        pool = _SESSION.executor(jobs)
+        _SESSION.pooled_sweeps += 1
+        return _consume(pool, fn, todo, chunksize, progress, total)
     with ProcessPoolExecutor(max_workers=jobs,
                              initializer=_mark_worker) as pool:
-        if progress is None:
-            return list(pool.map(fn, todo, chunksize=chunksize))
-        results = []
-        for result in pool.map(fn, todo, chunksize=chunksize):
-            results.append(result)
-            progress(len(results), total)
-        return results
+        return _consume(pool, fn, todo, chunksize, progress, total)
+
+
+def _consume(pool: ProcessPoolExecutor, fn, todo, chunksize: int,
+             progress, total: int) -> List:
+    """Drain one ``pool.map`` in input order, reporting progress."""
+    if progress is None:
+        return list(pool.map(fn, todo, chunksize=chunksize))
+    results: List = []
+    for result in pool.map(fn, todo, chunksize=chunksize):
+        results.append(result)
+        progress(len(results), total)
+    return results

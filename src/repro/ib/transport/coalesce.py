@@ -231,13 +231,17 @@ class StormCoalescer:
         # Either fast-forward machinery enables macro-events: the PR 3
         # coalesce flag or the array-native hot core (both synthesise
         # the identical closed form, so mixing modes stays exact).
-        if not rnic.coalesce and rnic.arraycore is None:
+        # Arraycore tests first: when it is armed, both coalesce
+        # settings short-circuit after one attribute load, so stacking
+        # the coalesce flag on the array core costs nothing per call at
+        # any fleet scale (scalebench gates the paired ratio).
+        if rnic.arraycore is None and not rnic.coalesce:
             return None
         network = rnic.network
         peer_rnic = network.devices.get(qp.remote_lid)
-        if peer_rnic is None or not (
-                getattr(peer_rnic, "coalesce", False)
-                or getattr(peer_rnic, "arraycore", None) is not None):
+        if peer_rnic is None or (
+                getattr(peer_rnic, "arraycore", None) is None
+                and not getattr(peer_rnic, "coalesce", False)):
             return None
         if network.requires_real(rnic.lid, qp.remote_lid):
             return None

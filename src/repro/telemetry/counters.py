@@ -59,6 +59,11 @@ class CounterRegistry:
         """All scopes, sorted."""
         return sorted({scope for scope, _name in self._counters})
 
+    def items(self) -> List[Tuple[Tuple[str, str], int]]:
+        """Canonical picklable snapshot: sorted ((scope, name), value)
+        pairs — the exchange format shard workers ship to the merge."""
+        return sorted(self._counters.items())
+
     def __len__(self) -> int:
         return len(self._counters)
 
@@ -170,6 +175,28 @@ def _collect_fabric(reg: CounterRegistry, network) -> None:
     if chaos is not None:
         for action, count in chaos.stats.items():
             reg.add("chaos", action, count)
+
+
+def merge_counter_items(
+        shards: Iterable[Iterable[Tuple[Tuple[str, str], int]]]
+        ) -> CounterRegistry:
+    """Fold per-shard counter snapshots into one registry, exactly.
+
+    Input is the :meth:`CounterRegistry.items` exchange format, one
+    iterable per shard.  Values sum per ``(scope, name)`` key and the
+    merged registry is rebuilt in canonical sorted key order, so the
+    result is bit-identical whatever order the shards arrive in —
+    integer addition is commutative, and insertion order (the one other
+    observable) is forced canonical here.
+    """
+    totals: Dict[Tuple[str, str], int] = {}
+    for items in shards:
+        for key, value in items:
+            totals[key] = totals.get(key, 0) + int(value)
+    merged = CounterRegistry()
+    for scope, name in sorted(totals):
+        merged.add(scope, name, totals[(scope, name)])
+    return merged
 
 
 def collect_counters(clusters: Iterable, per_qp: bool = True,

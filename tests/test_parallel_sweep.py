@@ -11,7 +11,7 @@ from repro.bench.microbench import OdpSetup
 from repro.experiments import runner
 from repro.experiments.fig02_timeout import run_figure2
 from repro.experiments.fig09_flood import run_figure9
-from repro.experiments.runner import default_jobs, sweep
+from repro.experiments.runner import default_jobs, sweep, sweep_session
 
 
 def _square(point):
@@ -52,6 +52,68 @@ class TestSweepRunner:
 
     def test_empty_points(self):
         assert sweep(_square, [], processes=4) == []
+
+
+class TestSweepSession:
+    """One pool across consecutive sweeps: spawn cost paid once,
+    results bit-identical with and without the session."""
+
+    def test_consecutive_sweeps_share_one_pool(self):
+        points = list(range(8))
+        with sweep_session() as session:
+            assert session.pool is None  # lazily created
+            first = sweep(_tagged, points, processes=2)
+            pool = session.pool
+            assert pool is not None
+            second = sweep(_tagged, points, processes=2)
+            assert session.pool is pool
+            assert session.pooled_sweeps == 2
+            workers = set(pool._processes)
+        assert session.pool is None  # shut down on exit
+        # Every point of both sweeps ran in the one pool's workers.
+        assert {pid for pid, _p in first} | {pid for pid, _p in second} \
+            <= workers
+
+    def test_results_bit_identical_with_and_without_session(self):
+        points = list(range(17))
+        bare = sweep(_square, points, processes=3)
+        with sweep_session():
+            pooled = sweep(_square, points, processes=3)
+        assert pooled == bare == [p * p for p in points]
+
+    def test_serial_sweeps_never_fork_the_pool(self):
+        with sweep_session() as session:
+            sweep(_square, list(range(4)), processes=1)
+            assert session.pool is None
+            assert session.pooled_sweeps == 0
+
+    def test_nested_sessions_reuse_the_innermost(self):
+        with sweep_session() as outer:
+            sweep(_square, list(range(6)), processes=2)
+            with sweep_session() as inner:
+                assert inner is outer
+                sweep(_square, list(range(6)), processes=2)
+            # Inner exit must not tear down the outer session's pool.
+            assert outer.pool is not None
+            assert outer.pooled_sweeps == 2
+        assert outer.pool is None
+
+    def test_pinned_processes_bound_the_pool(self):
+        with sweep_session(processes=2) as session:
+            tags = sweep(_tagged, list(range(12)), processes=6)
+            assert session.pool is not None
+            assert session.pool._max_workers == 2
+        assert [p for _pid, p in tags] == list(range(12))
+
+    def test_figure_sweep_identical_inside_session(self):
+        kwargs = dict(cacks=[1, 18], systems=["Reedbush-H"])
+        bare = run_figure2(processes=2, **kwargs)
+        with sweep_session():
+            pooled = run_figure2(processes=2, **kwargs)
+            again = run_figure2(processes=2, **kwargs)
+        assert [c.points for c in bare.curves] == \
+            [c.points for c in pooled.curves] == \
+            [c.points for c in again.curves]
 
 
 class TestParallelEqualsSerial:
