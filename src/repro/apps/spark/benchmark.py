@@ -46,18 +46,45 @@ class SparkCellResult:
         return self.cell.paper_enable_s / TIME_SCALE
 
 
-def _run_once(cell: SparkCell, odp_enabled: bool, seed: int) -> Dict[str, float]:
+def _run_once(cell: SparkCell, odp_enabled: bool, seed: int,
+              total_qps: Optional[int] = None,
+              cold_pages: Optional[int] = None,
+              fetches: Optional[int] = None,
+              num_rounds: Optional[int] = None,
+              arraycore: bool = False, coalesce: Optional[bool] = None,
+              record_completions: bool = False,
+              telemetry=None) -> Dict[str, object]:
+    """Run one ODP-on-or-off job and return its measured surfaces.
+
+    The keyword overrides exist for the fleet path
+    (:mod:`repro.apps.spark.fleet`): a QP *group* runs the cell's
+    traffic shape at a slice of the fleet's QPs with its slice of the
+    fleet's cold-page budget, fetches fixed at the fleet-level fit
+    (the fit depends on the paper's stall time, not on group size).
+    Defaults reproduce the classic single-process cell exactly.
+    """
     env = {"UCX_IB_PREFER_ODP": "y" if odp_enabled else "n"}
-    cluster = SparkCluster(workers=cell.workers, total_qps=cell.qps,
-                           env=env, seed=seed)
+    cluster = SparkCluster(workers=cell.workers,
+                           total_qps=cell.qps if total_qps is None
+                           else total_qps,
+                           env=env, seed=seed, arraycore=arraycore,
+                           coalesce=coalesce,
+                           record_completions=record_completions)
+    if telemetry is not None:
+        telemetry.attach(cluster.fabric)
     # the traffic shape is identical for both runs; pinned registration
     # simply pre-populates the cold pages so they never fault
     profile = get_device("ConnectX-4")
-    cold_pages, fetches = cold_pages_per_round(cell, profile)
+    fit_cold, fit_fetches = cold_pages_per_round(cell, profile)
+    if cold_pages is None:
+        cold_pages = fit_cold
+    if fetches is None:
+        fetches = fit_fetches
     workload = WORKLOADS[cell.workload]
     rounds = [ShuffleRound(compute_ns=compute_per_round_ns(cell),
                            fetches_per_qp=fetches, cold_pages=cold_pages)
-              for _ in range(workload.rounds)]
+              for _ in range(workload.rounds if num_rounds is None
+                             else num_rounds)]
     start = cluster.sim.now
     proc = cluster.run_job(rounds)
     cluster.sim.run_until_idle()
@@ -66,6 +93,8 @@ def _run_once(cell: SparkCell, odp_enabled: bool, seed: int) -> Dict[str, float]
         "time_s": ns_to_s(cluster.sim.now - start),
         "timeouts": cluster.transport_timeouts(),
         "packets": cluster.total_packets(),
+        "completions": cluster.completions,
+        "cluster": cluster,
     }
 
 

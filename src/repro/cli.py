@@ -63,13 +63,17 @@ def _fig08(fast: bool, seed: int, jobs=None) -> str:
     return run_figure8(seed=seed).render()
 
 
-def _fig09(fast: bool, seed: int, jobs=None) -> str:
+def _fig09(fast: bool, seed: int, jobs=None, opts=None) -> str:
     from repro.experiments.fig09_flood import run_figure9
+    num_groups = getattr(opts, "groups", None) or 1
+    shards = getattr(opts, "shards", None)
     if fast:
         result = run_figure9(qps_values=[1, 10, 50, 128], scale=16,
-                             seed=seed, processes=jobs)
+                             seed=seed, processes=jobs,
+                             num_groups=num_groups, shards=shards)
     else:
-        result = run_figure9(scale=4, seed=seed, processes=jobs)
+        result = run_figure9(scale=4, seed=seed, processes=jobs,
+                             num_groups=num_groups, shards=shards)
     return result.render()
 
 
@@ -92,9 +96,22 @@ def _fig12(fast: bool, seed: int, jobs=None) -> str:
                                              processes=jobs))
 
 
-def _tab13(fast: bool, seed: int, jobs=None) -> str:
+def _tab13(fast: bool, seed: int, jobs=None, opts=None) -> str:
     from repro.apps.spark.workloads import SPARK_CELLS
-    from repro.experiments.tab13_spark import run_table13
+    from repro.experiments.tab13_spark import run_table13, run_table13_fleet
+    qps = getattr(opts, "qps", None)
+    if qps:
+        # The headline scale row: one cell at fleet QP counts through
+        # run_fleet.  Default fan-out keeps ~640 QPs per group — the
+        # sweet spot BENCH_tab13.json's decomposition rows pin.
+        num_groups = getattr(opts, "groups", None) \
+            or max(1, qps // 640)
+        shards = getattr(opts, "shards", None) or 1
+        fleet = run_table13_fleet(qps=qps, num_groups=num_groups,
+                                  shards=shards, seed=seed)
+        return (fleet.result.render() + "\n"
+                + f"[plan: {fleet.plan.describe()}; "
+                + f"fleet fingerprint {fleet.fingerprint[:16]}]")
     cells = SPARK_CELLS[:4] if fast else None
     return run_table13(cells=cells, seed=seed, processes=jobs).render()
 
@@ -172,6 +189,7 @@ BENCHES: Dict[str, str] = {
     "stormbench": "BENCH_storm.json",
     "tracebench": "BENCH_telemetry.json",
     "scalebench": "BENCH_scale.json",
+    "tab13bench": "BENCH_tab13.json",
 }
 
 
@@ -257,6 +275,24 @@ def main(argv: List[str] = None) -> int:
                              "the per-worker share; REPRO_CHUNKSIZE sets "
                              "the same knob); results are bit-identical "
                              "at any chunk size")
+    parser.add_argument("--qps", type=int, default=None, metavar="N",
+                        help="with 'tab13': run the headline scale row — "
+                             "one cell at N QPs as a QP-group fleet "
+                             "through run_fleet instead of the classic "
+                             "12-cell table")
+    parser.add_argument("--groups", type=int, default=None, metavar="G",
+                        help="QP groups for fleet-mode tab13/fig09 "
+                             "(tab13 default: ~640 QPs per group; fig09 "
+                             "default 1 = classic per-cell definition)")
+    parser.add_argument("--shards", type=int, default=None, metavar="S",
+                        help="worker processes per fleet point for "
+                             "fleet-mode tab13/fig09 (results are "
+                             "bit-identical at any shard count)")
+    parser.add_argument("--affinity", default=None, metavar="CPUS",
+                        help="pin pool workers to CPUs, taskset-style "
+                             "('0-3,8'); exported as REPRO_AFFINITY; "
+                             "no-op on platforms without "
+                             "sched_setaffinity, never changes results")
     parser.add_argument("--check-all", action="store_true",
                         help="with the 'bench' verb: run every "
                              "benchmark's smoke mode and fail on any "
@@ -275,6 +311,11 @@ def main(argv: List[str] = None) -> int:
         # environment carries it so every nested figure helper sees it
         # without threading a parameter through each signature.
         os.environ["REPRO_CHUNKSIZE"] = str(args.chunksize)
+    if args.affinity is not None:
+        # Same pattern as --chunksize: the environment carries the knob
+        # to every pool the invocation creates.
+        from repro.experiments.runner import set_affinity_env
+        set_affinity_env(args.affinity)
 
     if args.experiment == "list":
         for name in EXPERIMENTS:
@@ -297,11 +338,22 @@ def main(argv: List[str] = None) -> int:
     # is created lazily, so serial figures never fork.
     from repro.experiments.runner import sweep_session
 
+    import inspect
+
     with sweep_session(processes=args.jobs):
         for name in names:
             started = time.time()
             print(f"=== {name} ===")
-            print(EXPERIMENTS[name](args.fast, args.seed, args.jobs))
+            handler = EXPERIMENTS[name]
+            # Only fleet-aware handlers take the parsed options; the
+            # plain (fast, seed, jobs) signature stays the contract.
+            kwargs = {}
+            try:
+                if "opts" in inspect.signature(handler).parameters:
+                    kwargs["opts"] = args
+            except (TypeError, ValueError):
+                pass
+            print(handler(args.fast, args.seed, args.jobs, **kwargs))
             print(f"--- {name} done in {time.time() - started:.1f}s ---\n")
     return 0
 

@@ -16,7 +16,12 @@ Environment knobs:
   of usable cores);
 * ``REPRO_CHUNKSIZE=N`` sets the default ``pool.map`` chunk size
   (otherwise :func:`auto_chunksize`); the ``--chunksize`` flag of
-  ``python -m repro`` pins it for one invocation.
+  ``python -m repro`` pins it for one invocation;
+* ``REPRO_AFFINITY=SPEC`` pins pool workers to CPUs (``"0-3,8"``
+  style); worker ``i`` is pinned to the ``i``-th listed CPU, round
+  robin.  A no-op on platforms without ``os.sched_setaffinity`` and
+  for malformed specs — affinity is a placement hint, never
+  correctness, so it must not be able to fail a run.
 
 Workers must be module-level functions and points picklable tuples —
 ``ProcessPoolExecutor`` ships both to the pool.  Nested sweeps (a sweep
@@ -30,7 +35,9 @@ is spawned once and reused — results are bit-identical either way.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Callable, Iterable, Iterator, List, Optional, TypeVar
@@ -40,6 +47,9 @@ Result = TypeVar("Result")
 
 #: Set inside pool workers so nested sweep() calls stay serial.
 _IN_WORKER_ENV = "REPRO_IN_SWEEP_WORKER"
+
+#: Environment knob holding the CPU affinity spec for pool workers.
+_AFFINITY_ENV = "REPRO_AFFINITY"
 
 #: The innermost active :func:`sweep_session`, or None.
 _SESSION: Optional["_SweepSession"] = None
@@ -66,9 +76,114 @@ def default_jobs() -> int:
         return os.cpu_count() or 1
 
 
-def _mark_worker() -> None:
-    """Pool initializer: tag the process so nested sweeps go serial."""
+def parse_affinity(spec: Optional[str]) -> Optional[List[int]]:
+    """Parse an affinity spec like ``"0-3,8"`` into a sorted CPU list.
+
+    Accepts comma-separated CPU ids and inclusive ``a-b`` ranges, in
+    taskset/cpuset syntax.  Returns ``None`` — affinity disabled — for
+    ``None``, empty/whitespace specs, the explicit ``none``/``off``
+    words, and *any* malformed spec: pinning is a placement hint, so a
+    typo must degrade to the unpinned default rather than kill a long
+    sweep at the CLI boundary.  Duplicate ids collapse; an empty range
+    (``"3-1"``) contributes nothing.
+    """
+    if spec is None:
+        return None
+    text = spec.strip().lower()
+    if text in ("", "none", "off"):
+        return None
+    cpus = set()
+    try:
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "-" in part:
+                lo_text, hi_text = part.split("-", 1)
+                lo, hi = int(lo_text), int(hi_text)
+                if lo < 0 or hi < 0:
+                    return None
+                cpus.update(range(lo, hi + 1))
+            else:
+                cpu = int(part)
+                if cpu < 0:
+                    return None
+                cpus.add(cpu)
+    except ValueError:
+        return None
+    return sorted(cpus) or None
+
+
+def resolve_affinity(spec: Optional[str] = None) -> Optional[List[int]]:
+    """The CPU list pool workers should pin to, or ``None``.
+
+    An explicit ``spec`` argument wins; otherwise the ``REPRO_AFFINITY``
+    environment knob is consulted.  Both go through
+    :func:`parse_affinity`'s forgiving grammar.
+    """
+    if spec is not None:
+        return parse_affinity(spec)
+    return parse_affinity(os.environ.get(_AFFINITY_ENV))
+
+
+def set_affinity_env(spec: Optional[str]) -> None:
+    """Export an ``--affinity`` CLI value as ``REPRO_AFFINITY`` so pools
+    created anywhere below (sessions, nested helpers, benches) inherit
+    it.  ``None`` leaves the environment untouched; an empty string
+    clears the knob."""
+    if spec is None:
+        return
+    if spec.strip() == "":
+        os.environ.pop(_AFFINITY_ENV, None)
+    else:
+        os.environ[_AFFINITY_ENV] = spec
+
+
+def _mark_worker(cpu_queue=None) -> None:
+    """Pool initializer: tag the process so nested sweeps go serial,
+    and optionally pin it to one CPU.
+
+    ``cpu_queue`` (when affinity is enabled) is preloaded with one CPU
+    id per worker slot; each worker pops its own.  Pinning is strictly
+    best-effort: platforms without ``os.sched_setaffinity`` (macOS,
+    Windows) and CPUs outside the allowed mask fall through to the
+    scheduler's default placement.  Affinity never touches seeds or
+    ordering, so results are bit-identical pinned or not.
+    """
     os.environ[_IN_WORKER_ENV] = "1"
+    if cpu_queue is None:
+        return
+    try:
+        cpu = cpu_queue.get_nowait()
+    except Exception:
+        return
+    if not hasattr(os, "sched_setaffinity"):  # pragma: no cover - non-Linux
+        return
+    try:
+        os.sched_setaffinity(0, {cpu})
+    except (OSError, ValueError):
+        pass
+
+
+def _make_pool(workers: int) -> ProcessPoolExecutor:
+    """Build a worker pool, honouring the ``REPRO_AFFINITY`` knob.
+
+    With affinity enabled, worker ``i`` pins to the ``i``-th listed CPU
+    (round robin when workers outnumber CPUs) by popping a preloaded
+    queue in its initializer — the executor gives us no per-worker
+    index, but a queue of ids hands each process a distinct slot.
+    """
+    workers = max(1, workers)
+    cpus = resolve_affinity()
+    if not cpus:
+        return ProcessPoolExecutor(max_workers=workers,
+                                   initializer=_mark_worker)
+    queue: "multiprocessing.Queue" = multiprocessing.Queue()
+    for slot in range(workers):
+        queue.put(cpus[slot % len(cpus)])
+    return ProcessPoolExecutor(max_workers=workers,
+                               initializer=_mark_worker,
+                               initargs=(queue,))
 
 
 def auto_chunksize(num_points: int, jobs: int) -> int:
@@ -109,31 +224,58 @@ class _SweepSession:
 
     The pool is spawned on the first parallel sweep inside the session
     (a session whose sweeps all short-circuit to serial never forks) and
-    shut down when the session exits.  Worker count is fixed at creation
-    — the first parallel sweep's job count — because a
-    ``ProcessPoolExecutor`` cannot grow; later sweeps simply use however
-    many of those workers their point count needs.
+    shut down when the session exits.  A ``ProcessPoolExecutor`` cannot
+    add workers in place, so when a later sweep asks for more jobs than
+    the pool holds, an *unpinned* session replaces the pool with a wider
+    one (``grown`` counts replacements); a session whose ``processes``
+    was pinned explicitly keeps its width and emits a one-shot
+    :class:`RuntimeWarning` naming the effective job count, since the
+    pin was a deliberate cap.  Either way results are unchanged — pool
+    width only moves work between processes.
     """
 
     def __init__(self, processes: Optional[int] = None):
         self.processes = processes
         self.pool: Optional[ProcessPoolExecutor] = None
+        #: current pool width (0 before the first parallel sweep).
+        self.workers = 0
+        #: times the pool was replaced by a wider one (tests/diagnostics).
+        self.grown = 0
         #: sweeps that went through the pooled path (tests/diagnostics).
         self.pooled_sweeps = 0
+        self._warned_capped = False
 
     def executor(self, jobs: int) -> ProcessPoolExecutor:
-        """The session pool, created on first use with ``jobs`` workers
-        (or the session's pinned ``processes`` when given)."""
+        """The session pool, sized for ``jobs`` workers.
+
+        Created on first use; grown (unpinned sessions) or capped with a
+        one-shot warning (pinned sessions) when ``jobs`` exceeds the
+        current width.
+        """
         if self.pool is None:
             workers = self.processes if self.processes is not None else jobs
-            self.pool = ProcessPoolExecutor(max_workers=max(1, workers),
-                                            initializer=_mark_worker)
+            self.workers = max(1, workers)
+            self.pool = _make_pool(self.workers)
+        elif jobs > self.workers:
+            if self.processes is None:
+                self.pool.shutdown()
+                self.workers = max(1, jobs)
+                self.pool = _make_pool(self.workers)
+                self.grown += 1
+            elif not self._warned_capped:
+                self._warned_capped = True
+                warnings.warn(
+                    "sweep requested %d jobs but the session pool is "
+                    "pinned to %d workers; running with %d"
+                    % (jobs, self.workers, self.workers),
+                    RuntimeWarning, stacklevel=3)
         return self.pool
 
     def close(self) -> None:
         if self.pool is not None:
             self.pool.shutdown()
             self.pool = None
+            self.workers = 0
 
 
 @contextmanager
@@ -210,8 +352,7 @@ def sweep(fn: Callable[[Point], Result], points: Iterable[Point],
         pool = _SESSION.executor(jobs)
         _SESSION.pooled_sweeps += 1
         return _consume(pool, fn, todo, chunksize, progress, total)
-    with ProcessPoolExecutor(max_workers=jobs,
-                             initializer=_mark_worker) as pool:
+    with _make_pool(jobs) as pool:
         return _consume(pool, fn, todo, chunksize, progress, total)
 
 

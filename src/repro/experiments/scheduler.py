@@ -1,0 +1,241 @@
+"""Two-level parallel execution: point- and fleet-parallelism composed.
+
+PR 1's :func:`~repro.experiments.runner.sweep` fans *grid points*
+across a process pool; PR 7's :func:`~repro.experiments.shard.run_fleet`
+splits *one big point* into QP-group shards.  Each alone wastes the
+other's parallelism: a sweep whose largest point dwarfs the rest leaves
+workers idle behind the straggler, and a fleet run parked inside a
+sweep worker degrades to serial (nested pools are forbidden).  This
+module composes the two levels over **one** shared
+:func:`~repro.experiments.runner.sweep_session` pool:
+
+* a :class:`PointTask` is today's sweep unit — one function, one
+  picklable point;
+* a :class:`FleetTask` is one big point that *itself* shards: its QP
+  groups are planned via :func:`~repro.experiments.shard.plan_shards`
+  and each shard becomes a schedulable unit alongside the points.
+
+:func:`run_schedule` plans fleet widths from the workers the task list
+leaves idle (explicit ``shards`` wins), flattens everything into units,
+and submits them **heaviest first** — the classic LPT makespan
+heuristic: stragglers start earliest, small points backfill.  Fleet
+partials merge in the parent through the exact shard merge contract.
+
+Placement cannot leak into results: every unit is a hermetic
+simulation seeded by its own point or group spec, so the schedule's
+output is bit-identical to the serial loop's whatever the pool width,
+fleet widths, or completion order (tested).  Heuristics here only move
+wall-clock.
+
+Hazard units — fleets with a process-wide observer armed
+(``Cluster.instrument``, an attached telemetry session) — never cross
+a process boundary: they run inline in the parent after the pool is
+loaded, preserving the instrumentation contract the shard planner
+already enforces.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    Sequence, Tuple)
+
+from repro.experiments import runner, shard
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One grid point: ``fn(point)`` in some worker.
+
+    ``fn`` must be module-level and ``point`` picklable, exactly as
+    :func:`runner.sweep` requires.  ``weight`` is a relative cost
+    estimate used only for placement (QP count is the usual choice);
+    it never affects results.
+    """
+
+    fn: Callable[[Any], Any]
+    point: Any
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class FleetTask:
+    """One big point that shards: a fleet config run via the shard
+    fabric, its QP-group shards scheduled as peer units of the sweep.
+
+    ``shards`` pins the fan-out; ``None`` lets the scheduler size it
+    from idle workers (see :func:`fleet_widths`).  ``collect`` are
+    :func:`shard.run_fleet` artifact flags.  ``post``, when given, maps
+    the merged :class:`shard.FleetResult` to the task's result in the
+    parent process (e.g. wrap a fleet cell into a figure row); it need
+    not be picklable.
+    """
+
+    config: Any
+    weight: float = 1.0
+    collect: Tuple[str, ...] = ()
+    shards: Optional[int] = None
+    post: Optional[Callable[[Any], Any]] = None
+
+
+Task = Any  # PointTask | FleetTask
+
+
+def fleet_widths(tasks: Sequence[Task], jobs: int) -> Dict[int, int]:
+    """Requested shard width per FleetTask index, from idle workers.
+
+    Every task is worth one worker slot; the slots the task list leaves
+    idle (``jobs - len(tasks)``) are dealt round-robin to the fleets,
+    heaviest first — the mixed case where a sweep's largest points
+    shard across otherwise-idle workers.  An explicit ``task.shards``
+    wins outright.  Deterministic: ties break on task order, and the
+    planner later clamps each request to the fleet's independent
+    component count.
+    """
+    widths: Dict[int, int] = {}
+    open_fleets = []
+    for index, task in enumerate(tasks):
+        if not isinstance(task, FleetTask):
+            continue
+        if task.shards is not None:
+            widths[index] = max(1, int(task.shards))
+        else:
+            widths[index] = 1
+            open_fleets.append(index)
+    if not open_fleets:
+        return widths
+    open_fleets.sort(key=lambda i: (-tasks[i].weight, i))
+    spare = max(0, jobs - len(tasks))
+    for deal in range(spare):
+        widths[open_fleets[deal % len(open_fleets)]] += 1
+    return widths
+
+
+@dataclass
+class _FleetState:
+    """Bookkeeping for one FleetTask's in-flight shards."""
+
+    task: FleetTask
+    workload: Any
+    plan: shard.ShardPlan
+    pending: int = 0
+    group_results: List[Any] = field(default_factory=list)
+
+
+def _finish_fleet(state: _FleetState) -> Any:
+    merged = shard.merge_fleet(state.task.config, state.group_results,
+                               state.plan, state.task.collect,
+                               state.workload)
+    if state.task.post is not None:
+        return state.task.post(merged)
+    return merged
+
+
+def _run_task_inline(task: Task) -> Any:
+    if isinstance(task, FleetTask):
+        merged = shard.run_fleet(task.config, shards=task.shards,
+                                 collect=task.collect)
+        return task.post(merged) if task.post is not None else merged
+    return task.fn(task.point)
+
+
+def run_schedule(tasks: Iterable[Task],
+                 processes: Optional[int] = None,
+                 progress: Optional[Callable[[int, int], None]] = None
+                 ) -> List[Any]:
+    """Run a mixed point/fleet task list; results in input order.
+
+    The parallel path opens (or joins) a :func:`runner.sweep_session`
+    pool, expands fleets into shard units, and submits all units
+    heaviest first.  ``processes=None`` sizes the pool from
+    :func:`runner.default_jobs`; ``processes<=1`` or ``REPRO_SERIAL=1``
+    run the plain serial loop.  ``progress(done, total)`` fires in the
+    parent as units complete (a fleet contributes one unit per shard),
+    so a long schedule reports even while its largest point is still
+    sharded out.  Results are bit-identical to the serial loop for
+    every pool width — placement is the only degree of freedom.
+    """
+    todo = list(tasks)
+    total_tasks = len(todo)
+    if total_tasks == 0:
+        return []
+    jobs = runner.default_jobs() if processes is None \
+        else max(1, int(processes))
+    if jobs <= 1 or runner.serial_forced():
+        results: List[Any] = []
+        for task in todo:
+            results.append(_run_task_inline(task))
+            if progress is not None:
+                progress(len(results), total_tasks)
+        return results
+
+    widths = fleet_widths(todo, jobs)
+    results_by_task: Dict[int, Any] = {}
+    fleet_states: Dict[int, _FleetState] = {}
+    inline_tasks: List[int] = []
+    #: (submit key, task index, callable args) for pool units
+    units: List[Tuple[float, int, Callable, Any]] = []
+    for index, task in enumerate(todo):
+        if not isinstance(task, FleetTask):
+            units.append((float(task.weight), index, task.fn, task.point))
+            continue
+        if shard.fleet_hazards(task.config):
+            # Process-wide observer armed: the fleet must stay in this
+            # process.  run_fleet's own fallback handles it exactly.
+            inline_tasks.append(index)
+            continue
+        workload, groups, plan = shard.plan_fleet(task.config,
+                                                  widths[index])
+        state = _FleetState(task=task, workload=workload, plan=plan,
+                            pending=len(plan.shards))
+        fleet_states[index] = state
+        total_qps = sum(spec.num_qps for spec in groups) or 1
+        for args in shard.shard_args(groups, plan, task.config,
+                                     task.collect):
+            specs = args[0]
+            share = sum(spec.num_qps for spec in specs) / total_qps
+            units.append((task.weight * share, index, shard.run_shard,
+                          args))
+
+    total_units = len(units) + len(inline_tasks)
+    done_units = 0
+    with runner.sweep_session(processes=processes) as session:
+        futures: Dict[Future, int] = {}
+        if units:
+            pool = session.executor(min(jobs, len(units)))
+            session.pooled_sweeps += 1
+            # Heaviest first (LPT): the units most likely to straggle
+            # start first; light points backfill the tail.  Submission
+            # order only affects wall-clock — results are keyed by
+            # task, not arrival.
+            order = sorted(range(len(units)),
+                           key=lambda u: (-units[u][0], units[u][1]))
+            for u in order:
+                _weight, index, fn, args = units[u]
+                futures[pool.submit(fn, args)] = index
+        # Inline (hazard) fleets run while the pool chews.
+        for index in inline_tasks:
+            results_by_task[index] = _run_task_inline(todo[index])
+            done_units += 1
+            if progress is not None:
+                progress(done_units, total_units)
+        pending = set(futures)
+        while pending:
+            finished, pending = wait(pending,
+                                     return_when=FIRST_COMPLETED)
+            for future in finished:
+                index = futures[future]
+                outcome = future.result()
+                if index in fleet_states:
+                    state = fleet_states[index]
+                    state.group_results.extend(outcome)
+                    state.pending -= 1
+                    if state.pending == 0:
+                        results_by_task[index] = _finish_fleet(state)
+                else:
+                    results_by_task[index] = outcome
+                done_units += 1
+                if progress is not None:
+                    progress(done_units, total_units)
+    return [results_by_task[index] for index in range(total_tasks)]

@@ -48,15 +48,26 @@ classic single-pair microbench), or when a process-wide observer is
 armed (``Cluster.instrument``, an attached telemetry session), the plan
 collapses to one in-process shard and records why — results stay
 correct, only the parallelism is declined.
+
+Fleet workloads are pluggable: a config class names its workload via a
+``fleet_workload`` attribute (default ``"microbench"``), and the
+registry maps that name to the three workload-specific operations —
+splitting a config into :class:`GroupSpec` s, running one group, and
+merging the per-group results.  The planner, the worker entry point,
+the hazard contract and the artifact merge (counters, fingerprints,
+capture) are shared.  ``"spark"``
+(:mod:`repro.apps.spark.fleet`) reuses all of it to scale the tab13
+mini-Spark workload to 10k+ QPs.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import importlib
 from dataclasses import dataclass, field
-from typing import (Any, Dict, FrozenSet, Iterable, List, Optional,
-                    Sequence, Tuple)
+from typing import (Any, Callable, Dict, FrozenSet, Iterable, List,
+                    Optional, Sequence, Tuple)
 
 from repro.experiments import runner
 
@@ -77,6 +88,65 @@ _KNOWN_COLLECT = frozenset((COLLECT_COUNTERS, COLLECT_FINGERPRINT,
 def group_seed(seed: int, index: int) -> int:
     """The simulator seed of fleet group ``index``."""
     return seed * GROUP_SEED_STRIDE + index
+
+
+# ----------------------------------------------------------------------
+# Workload registry
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FleetWorkload:
+    """The three operations a fleet workload must provide.
+
+    ``groups(config)`` splits a config into :class:`GroupSpec` s;
+    ``run_group(spec, base_config, collect, telemetry=None)`` runs one
+    group and returns a :class:`GroupResult`; ``merge(config,
+    group_results)`` folds the ordered per-group results into the
+    workload's own result type.  Everything else — planning, hazard
+    fallback, worker dispatch, counter/fingerprint/capture merge — is
+    workload-independent and shared.
+    """
+
+    name: str
+    groups: Callable[[Any], List["GroupSpec"]]
+    run_group: Callable[..., "GroupResult"]
+    merge: Callable[[Any, Sequence["GroupResult"]], Any]
+
+
+_WORKLOADS: Dict[str, FleetWorkload] = {}
+
+#: Workloads registered on import of their home module.  Lazy so the
+#: shard layer never drags application packages in, and so a worker
+#: process resolving a shard of either kind imports only what it runs.
+_WORKLOAD_MODULES = {
+    "spark": "repro.apps.spark.fleet",
+}
+
+
+def register_fleet_workload(workload: FleetWorkload) -> None:
+    """Make a workload resolvable by name (idempotent re-registration
+    with the same module's object is fine — import order varies)."""
+    _WORKLOADS[workload.name] = workload
+
+
+def get_fleet_workload(name: str) -> FleetWorkload:
+    """Resolve a workload name, importing its home module on demand."""
+    if name not in _WORKLOADS:
+        module = _WORKLOAD_MODULES.get(name)
+        if module is not None:
+            importlib.import_module(module)
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        known = sorted(set(_WORKLOADS) | set(_WORKLOAD_MODULES))
+        raise ShardPlanError(f"unknown fleet workload {name!r}; "
+                             f"known: {known}") from None
+
+
+def workload_name(config) -> str:
+    """The workload a fleet config belongs to (``fleet_workload``
+    attribute, default ``"microbench"``)."""
+    return getattr(config, "fleet_workload", "microbench")
 
 
 @dataclass(frozen=True)
@@ -378,13 +448,22 @@ def run_shard(args: Tuple) -> List[GroupResult]:
     """Worker entry: rebuild and run every group of one shard.
 
     Module-level and fed picklable tuples, as :func:`runner.sweep`
-    requires.  Groups run sequentially in spec order; each builds its
-    own cluster (which restarts packet serial numbering), so a group's
-    bytes are identical whether its neighbour ran in this process, in
-    another worker, or not at all.
+    requires.  ``args`` is ``(specs, base_config, collect, workload)``;
+    a legacy 3-tuple means the microbench workload.  The workload name
+    resolves through the registry *inside* the worker, so application
+    modules (spark) import only where their groups actually run.
+    Groups run sequentially in spec order; each builds its own cluster
+    (which restarts packet serial numbering), so a group's bytes are
+    identical whether its neighbour ran in this process, in another
+    worker, or not at all.
     """
-    specs, base_config, collect = args
-    return [_run_group(spec, base_config, frozenset(collect))
+    if len(args) == 3:
+        specs, base_config, collect = args
+        name = "microbench"
+    else:
+        specs, base_config, collect, name = args
+    workload = get_fleet_workload(name)
+    return [workload.run_group(spec, base_config, frozenset(collect))
             for spec in specs]
 
 
@@ -463,6 +542,13 @@ def merge_capture_records(group_results: Sequence[GroupResult]) -> List:
     return [rec for _key, rec in keyed]
 
 
+#: The built-in workload: MicrobenchConfig fleets.
+register_fleet_workload(FleetWorkload(name="microbench",
+                                      groups=fleet_groups,
+                                      run_group=_run_group,
+                                      merge=merge_results))
+
+
 def fleet_fingerprint(fingerprints: Sequence[Optional[str]]) -> str:
     """Combine per-group telemetry fingerprints, canonically.
 
@@ -485,7 +571,7 @@ def fleet_fingerprint(fingerprints: Sequence[Optional[str]]) -> str:
 class FleetResult:
     """A merged fleet run plus how it was executed."""
 
-    result: Any                      # merged MicrobenchResult
+    result: Any                      # merged workload result
     plan: ShardPlan
     counters: Optional[Any] = None   # merged CounterRegistry
     fingerprint: Optional[str] = None
@@ -494,49 +580,43 @@ class FleetResult:
     groups: List[GroupResult] = field(default_factory=list)
 
 
-def run_fleet(config, shards: Optional[int] = None,
-              collect: Iterable[str] = ()) -> FleetResult:
-    """Execute a fleet config across shard workers and merge exactly.
-
-    ``shards`` overrides ``config.shards``; 0 means "one worker per
-    usable core".  ``collect`` names extra artifacts to gather per
-    group and merge: ``"counters"``, ``"fingerprint"``, ``"capture"``
-    (summaries), ``"records"`` (raw rows; test-sized fleets only).
-
-    The merged :class:`MicrobenchResult` is bit-identical for every
-    shard count and every ``REPRO_JOBS`` value — each group is a
-    hermetic simulation, so execution placement cannot leak into
-    results; only wall-clock changes.
-    """
+def _check_collect(collect: Iterable[str]) -> FrozenSet[str]:
     collect_set = frozenset(collect)
     unknown = collect_set - _KNOWN_COLLECT
     if unknown:
         raise ValueError(f"unknown collect flag(s): {sorted(unknown)}; "
                          f"expected a subset of {sorted(_KNOWN_COLLECT)}")
-    groups = fleet_groups(config)
+    return collect_set
+
+
+def plan_fleet(config, shards: Optional[int] = None
+               ) -> Tuple[FleetWorkload, List[GroupSpec], ShardPlan]:
+    """Resolve a fleet config to (workload, groups, plan) without
+    running anything — the scheduler uses this to weigh and place
+    shard units before submission."""
+    workload = get_fleet_workload(workload_name(config))
+    groups = workload.groups(config)
     requested = int(config.shards if shards is None else shards)
     if requested == 0:
         requested = runner.default_jobs()
-    hazards = fleet_hazards(config)
-    plan = plan_shards(groups, requested, hazards)
+    plan = plan_shards(groups, requested, fleet_hazards(config))
+    return workload, groups, plan
 
-    telemetry = getattr(config, "telemetry", None)
-    base = dataclasses.replace(config, telemetry=None)
-    if plan.pooled and not runner.serial_forced():
-        shard_args = [(tuple(groups[i] for i in shard), base,
-                       tuple(sorted(collect_set)))
-                      for shard in plan.shards]
-        shard_lists = runner.sweep(run_shard, shard_args,
-                                   processes=len(plan.shards), chunksize=1)
-        group_results = [group for shard in shard_lists for group in shard]
-    else:
-        # In-process fallback: same per-group runs, same merge — the
-        # telemetry session (if any) attaches to every group cluster.
-        group_results = [_run_group(spec, base, collect_set,
-                                    telemetry=telemetry)
-                         for spec in groups]
 
-    merged = merge_results(config, group_results)
+def merge_fleet(config, group_results: Sequence[GroupResult],
+                plan: ShardPlan, collect: Iterable[str] = (),
+                workload: Optional[FleetWorkload] = None) -> FleetResult:
+    """Fold per-group partials into a :class:`FleetResult`.
+
+    The workload merges its own result type; counters, fingerprints and
+    capture artifacts merge identically for every workload.  Shared by
+    :func:`run_fleet` and the two-level scheduler, which collects the
+    same :class:`GroupResult` s through its own placement.
+    """
+    collect_set = _check_collect(collect)
+    if workload is None:
+        workload = get_fleet_workload(workload_name(config))
+    merged = workload.merge(config, group_results)
     counters = None
     if COLLECT_COUNTERS in collect_set:
         from repro.telemetry.counters import merge_counter_items
@@ -558,3 +638,64 @@ def run_fleet(config, shards: Optional[int] = None,
     return FleetResult(result=merged, plan=plan, counters=counters,
                        fingerprint=fingerprint, capture=capture,
                        records=records, groups=list(group_results))
+
+
+def shard_args(groups: Sequence[GroupSpec], plan: ShardPlan, config,
+               collect: Iterable[str] = ()) -> List[Tuple]:
+    """The picklable :func:`run_shard` argument tuples for a plan.
+
+    Strips any telemetry session from the shipped config — it holds the
+    whole cluster graph, which must not cross the pickle boundary.
+    """
+    collect_set = _check_collect(collect)
+    base = dataclasses.replace(config, telemetry=None)
+    name = workload_name(config)
+    return [(tuple(groups[i] for i in shard), base,
+             tuple(sorted(collect_set)), name)
+            for shard in plan.shards]
+
+
+def run_fleet(config, shards: Optional[int] = None,
+              collect: Iterable[str] = (),
+              progress: Optional[Callable[[int, int], None]] = None
+              ) -> FleetResult:
+    """Execute a fleet config across shard workers and merge exactly.
+
+    ``shards`` overrides ``config.shards``; 0 means "one worker per
+    usable core".  ``collect`` names extra artifacts to gather per
+    group and merge: ``"counters"``, ``"fingerprint"``, ``"capture"``
+    (summaries), ``"records"`` (raw rows; test-sized fleets only).
+
+    ``progress``, when given, is called as ``progress(done, total)`` in
+    the parent process as partial results land: per *shard* on the
+    pooled path (a shard is the unit a worker returns) and per *group*
+    on the in-process fallback — so a 10k-QP fleet reports completion
+    instead of going dark for minutes.  The callback never touches
+    results; runs are bit-identical with or without it.
+
+    The merged result is bit-identical for every shard count and every
+    ``REPRO_JOBS`` value — each group is a hermetic simulation, so
+    execution placement cannot leak into results; only wall-clock
+    changes.
+    """
+    collect_set = _check_collect(collect)
+    workload, groups, plan = plan_fleet(config, shards)
+    telemetry = getattr(config, "telemetry", None)
+    if plan.pooled and not runner.serial_forced():
+        shard_lists = runner.sweep(run_shard,
+                                   shard_args(groups, plan, config,
+                                              collect_set),
+                                   processes=len(plan.shards), chunksize=1,
+                                   progress=progress)
+        group_results = [group for shard in shard_lists for group in shard]
+    else:
+        # In-process fallback: same per-group runs, same merge — the
+        # telemetry session (if any) attaches to every group cluster.
+        base = dataclasses.replace(config, telemetry=None)
+        group_results = []
+        for spec in groups:
+            group_results.append(workload.run_group(spec, base, collect_set,
+                                                    telemetry=telemetry))
+            if progress is not None:
+                progress(len(group_results), len(groups))
+    return merge_fleet(config, group_results, plan, collect_set, workload)

@@ -16,7 +16,7 @@ from typing import List, Optional
 
 from repro.apps.spark.benchmark import SparkCellResult, run_spark_cell
 from repro.apps.spark.workloads import SPARK_CELLS, SparkCell, TIME_SCALE
-from repro.experiments.runner import sweep
+from repro.experiments.scheduler import PointTask, run_schedule
 from repro.report import format_table
 
 
@@ -55,8 +55,41 @@ def _measure_cell(point) -> SparkCellResult:
 def run_table13(cells: Optional[List[SparkCell]] = None,
                 seed: int = 0,
                 processes: Optional[int] = None) -> Table13Result:
-    """Run all (or a subset of) Table 13 cells, optionally in parallel."""
+    """Run all (or a subset of) Table 13 cells, optionally in parallel.
+
+    Cells go through the two-level scheduler weighted by QP count, so
+    the 2858-QP ABCI cells start before the 210-QP KNL cells backfill
+    — the table's wall-clock is its slowest cell, not its sum.  Cell
+    results are bit-identical to the serial loop for any pool width.
+    """
     todo = cells if cells is not None else SPARK_CELLS
-    return Table13Result(sweep(_measure_cell,
-                               [(cell, seed) for cell in todo],
-                               processes=processes))
+    tasks = [PointTask(_measure_cell, (cell, seed), weight=float(cell.qps))
+             for cell in todo]
+    return Table13Result(run_schedule(tasks, processes=processes))
+
+
+def run_table13_fleet(qps: int = 10240, num_groups: int = 16,
+                      shards: int = 1, seed: int = 0,
+                      workload: str = "SparkTC",
+                      system: str = "Reedbush-H (2)",
+                      scale: int = 1,
+                      progress=None):
+    """The headline scale row: one Table 13 cell at fleet QP counts.
+
+    ``python -m repro tab13 --qps 10240 --shards N`` lands here: the
+    cell's traffic shape re-expressed as ``num_groups`` hermetic QP
+    groups run through :func:`repro.experiments.shard.run_fleet` —
+    bit-identical for every shard count under the shard merge contract
+    (counters, completions, fingerprints, execution time = critical
+    path).  Returns the merged
+    :class:`repro.experiments.shard.FleetResult` whose ``result`` is a
+    :class:`repro.apps.spark.fleet.SparkFleetResult`.
+    """
+    from repro.apps.spark.fleet import SparkFleetConfig
+    from repro.experiments.shard import run_fleet
+
+    config = SparkFleetConfig(workload=workload, system=system, qps=qps,
+                              num_groups=num_groups, shards=shards,
+                              seed=seed, scale=scale)
+    return run_fleet(config, collect=("counters", "fingerprint"),
+                     progress=progress)

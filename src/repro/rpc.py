@@ -132,6 +132,10 @@ class RpcEndpoint:
                                     self._slot_bytes))
 
     def _on_completion(self, wc: WorkCompletion) -> None:
+        # Consume the CQE (send completions included): this engine is
+        # the CQ's only consumer, and undrained entries would hit the
+        # capacity drop once enough calls have flowed through.
+        self.cq.poll()
         if wc.opcode is not WcOpcode.RECV:
             return
         slot = wc.wr_id

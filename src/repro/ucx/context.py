@@ -60,6 +60,14 @@ class UcxContext:
         return endpoint
 
     def _on_completion(self, wc: WorkCompletion) -> None:
+        # UCX progress *consumes* the CQE it is handed.  The CQ queues
+        # every push for poll()/wait() consumers and silently drops at
+        # capacity; nothing else polls this private CQ, so an undrained
+        # entry would sit forever — and once the cumulative completion
+        # count crossed the capacity, every later completion would be
+        # dropped and its endpoint future stranded (first seen as a
+        # driver hang in the 10k-QP tab13 cell).
+        self.cq.poll()
         endpoint = self._by_qpn.get(wc.qp_num)
         if endpoint is not None:
             endpoint._handle_completion(wc)  # noqa: SLF001 - friend class

@@ -20,6 +20,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _wr_ids = itertools.count(1)
 
 
+def reset_wr_ids() -> None:
+    """Restart the module-wide wr_id stream at 1.
+
+    wr_ids are labels, not protocol state, but they surface in recorded
+    completions — a fresh simulation that should be byte-for-byte
+    comparable to an earlier one (fleet groups run in-process vs. in a
+    worker, back-to-back benchmark repeats) must start the stream at the
+    same point.  :class:`repro.apps.spark.engine.SparkCluster` calls
+    this from ``__init__``, mirroring ``reset_packet_serials()`` in
+    :class:`repro.host.cluster.Cluster`.
+    """
+    global _wr_ids
+    _wr_ids = itertools.count(1)
+
+
 @dataclass
 class UcxMemory:
     """A registered memory handle (region + MR)."""

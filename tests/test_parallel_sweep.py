@@ -4,6 +4,7 @@ its ``Simulator(seed)``.
 """
 
 import os
+import warnings
 
 import pytest
 
@@ -105,6 +106,36 @@ class TestSweepSession:
             assert session.pool._max_workers == 2
         assert [p for _pid, p in tags] == list(range(12))
 
+    def test_unpinned_session_grows_the_pool(self):
+        with sweep_session() as session:
+            sweep(_square, list(range(4)), processes=2)
+            assert session.workers == 2
+            assert session.grown == 0
+            small_pool = session.pool
+            # A later, wider sweep must not silently run 2-wide.
+            sweep(_square, list(range(12)), processes=6)
+            assert session.workers == 6
+            assert session.grown == 1
+            assert session.pool is not small_pool
+            assert session.pool._max_workers == 6
+            # Narrower sweeps reuse the wide pool without shrinking.
+            sweep(_square, list(range(4)), processes=2)
+            assert session.grown == 1
+
+    def test_pinned_session_warns_once_and_keeps_width(self):
+        with sweep_session(processes=2) as session:
+            sweep(_square, list(range(4)), processes=2)
+            with pytest.warns(RuntimeWarning,
+                              match=r"pinned to 2 workers; running with 2"):
+                got = sweep(_square, list(range(12)), processes=6)
+            assert got == [p * p for p in range(12)]
+            assert session.workers == 2
+            assert session.grown == 0
+            # One-shot: the next oversized sweep stays silent.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                sweep(_square, list(range(12)), processes=6)
+
     def test_figure_sweep_identical_inside_session(self):
         kwargs = dict(cacks=[1, 18], systems=["Reedbush-H"])
         bare = run_figure2(processes=2, **kwargs)
@@ -204,3 +235,75 @@ class TestChunksize:
                             {"noop": lambda fast, seed, jobs: "ok"})
         assert cli.main(["noop", "--chunksize", "2"]) == 0
         assert os.environ["REPRO_CHUNKSIZE"] == "2"
+
+
+class TestAffinity:
+    """The CPU-pinning knob: taskset-style parsing with pinned values,
+    and strictly best-effort application — a typo or an unsupported
+    platform degrades to unpinned, never to a failed sweep."""
+
+    def test_parse_affinity_pinned_values(self):
+        assert runner.parse_affinity("0-3,8") == [0, 1, 2, 3, 8]
+        assert runner.parse_affinity("0") == [0]
+        assert runner.parse_affinity("2,1,1,2") == [1, 2]
+        assert runner.parse_affinity("1-1") == [1]
+
+    def test_parse_affinity_disabled_forms(self):
+        for spec in (None, "", "   ", "none", "off", "NONE"):
+            assert runner.parse_affinity(spec) is None
+
+    def test_parse_affinity_malformed_degrades_to_none(self):
+        # Placement hint, not configuration: a typo must not kill a run.
+        for spec in ("x", "0-", "-3", "0,-2", "1..4", "0;1"):
+            assert runner.parse_affinity(spec) is None
+        assert runner.parse_affinity("3-1") is None  # empty range only
+
+    def test_resolve_prefers_argument_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AFFINITY", "0-1")
+        assert runner.resolve_affinity() == [0, 1]
+        assert runner.resolve_affinity("5") == [5]
+        monkeypatch.delenv("REPRO_AFFINITY")
+        assert runner.resolve_affinity() is None
+
+    def test_set_affinity_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AFFINITY", raising=False)
+        runner.set_affinity_env(None)
+        assert "REPRO_AFFINITY" not in os.environ
+        runner.set_affinity_env("0-3")
+        assert os.environ["REPRO_AFFINITY"] == "0-3"
+        runner.set_affinity_env("")
+        assert "REPRO_AFFINITY" not in os.environ
+        monkeypatch.delenv("REPRO_AFFINITY", raising=False)
+
+    def test_pinned_sweep_results_identical(self, monkeypatch):
+        bare = sweep(_square, list(range(12)), processes=3)
+        monkeypatch.setenv("REPRO_AFFINITY", "0")
+        pinned = sweep(_square, list(range(12)), processes=3)
+        assert pinned == bare
+
+    def test_setaffinity_failure_is_swallowed(self, monkeypatch):
+        # CPUs outside the allowed mask raise OSError; the worker must
+        # come up unpinned rather than dead.
+        if not hasattr(os, "sched_setaffinity"):
+            pytest.skip("no sched_setaffinity on this platform")
+
+        def explode(pid, cpus):
+            raise OSError("cpu outside mask")
+
+        monkeypatch.setattr(os, "sched_setaffinity", explode)
+        # setenv first so teardown restores the marker's prior state.
+        monkeypatch.setenv(runner._IN_WORKER_ENV, "0")
+        import queue as queue_module
+        cpu_queue = queue_module.Queue()
+        cpu_queue.put(999)
+        runner._mark_worker(cpu_queue)  # must not raise
+        assert os.environ[runner._IN_WORKER_ENV] == "1"
+
+    def test_cli_affinity_exports_env(self, monkeypatch):
+        from repro import cli
+        monkeypatch.delenv("REPRO_AFFINITY", raising=False)
+        monkeypatch.setattr(cli, "EXPERIMENTS",
+                            {"noop": lambda fast, seed, jobs: "ok"})
+        assert cli.main(["noop", "--affinity", "0-1"]) == 0
+        assert os.environ["REPRO_AFFINITY"] == "0-1"
+        monkeypatch.delenv("REPRO_AFFINITY", raising=False)

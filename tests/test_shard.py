@@ -320,6 +320,90 @@ class TestFleetFallbacks:
         assert fleet.plan.requested == 2
 
 
+class TestFleetProgress:
+    """Satellite: ``run_fleet(progress=)`` threads through
+    ``runner.sweep`` so long fleets report completion — per shard on
+    the pooled path, per group on the in-process fallback."""
+
+    def test_pooled_path_reports_per_shard(self):
+        seen = []
+        fleet = run_fleet(_flood_config(shards=2),
+                          progress=lambda done, total:
+                          seen.append((done, total)))
+        shards = len(fleet.plan.shards)
+        assert shards == 2
+        assert seen == [(n + 1, shards) for n in range(shards)]
+
+    def test_fallback_path_reports_per_group(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERIAL", "1")
+        seen = []
+        run_fleet(_flood_config(shards=4),
+                  progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(n + 1, 4) for n in range(4)]
+
+    def test_progress_does_not_change_results(self):
+        bare = run_fleet(_flood_config(shards=2))
+        watched = run_fleet(_flood_config(shards=2),
+                            progress=lambda done, total: None)
+        assert _metrics(bare.result) == _metrics(watched.result)
+
+
+class TestChaosTelemetryFallback:
+    """Satellite: telemetry AND chaos armed at once.  Both are
+    process-wide observers, so the plan must collapse to one in-process
+    shard naming both hazards — and the instrumented run must still be
+    deterministic with its fault artifacts intact."""
+
+    def _run_instrumented(self):
+        from repro.chaos.engine import ChaosEngine
+        from repro.chaos.plan import ChaosPlan, FaultKind, FaultWindow
+        from repro.host.cluster import Cluster
+        from repro.sim.timebase import MS
+        from repro.telemetry import Telemetry
+
+        plan = ChaosPlan([FaultWindow(0, 5 * MS, FaultKind.DROP,
+                                      probability=0.3)])
+        engines = []
+
+        def arm(cluster):
+            engines.append(ChaosEngine(cluster, plan, seed=11).install())
+
+        tel = Telemetry()
+        previous = Cluster.instrument
+        Cluster.instrument = arm
+        try:
+            fleet = run_fleet(_flood_config(num_qps=16, num_ops=64,
+                                            num_groups=2, shards=2,
+                                            telemetry=tel))
+        finally:
+            Cluster.instrument = previous
+        return fleet, engines, tel
+
+    def test_both_hazards_force_one_inprocess_shard(self):
+        fleet, engines, tel = self._run_instrumented()
+        assert not fleet.plan.pooled
+        assert len(fleet.plan.shards) == 1
+        assert "Cluster.instrument" in fleet.plan.reason
+        assert "telemetry" in fleet.plan.reason
+        # Both observers really saw every group cluster.
+        assert len(engines) == 2
+        assert len(tel.clusters) == 2
+
+    def test_instrumented_fleet_reproduces_bit_identically(self):
+        first, engines_a, _tel = self._run_instrumented()
+        second, engines_b, _tel = self._run_instrumented()
+        assert _metrics(first.result) == _metrics(second.result)
+        # Fault artifacts are intact and deterministic: same drops,
+        # same fingerprints, and the windows actually fired.
+        prints_a = [e.fingerprint() for e in engines_a]
+        prints_b = [e.fingerprint() for e in engines_b]
+        assert prints_a == prints_b
+        drops_a = [e.drop_log() for e in engines_a]
+        assert drops_a == [e.drop_log() for e in engines_b]
+        assert any(e.stats.get("drop", 0) > 0 for e in engines_a)
+        assert first.result.timeouts > 0  # the faults really bit
+
+
 class TestMergeValidation:
     def test_duplicate_group_indices_rejected(self):
         fleet = run_fleet(_flood_config(num_groups=2, shards=1))

@@ -59,6 +59,25 @@ class TestEngine:
 
         assert run(True) > 3 * run(False)
 
+    def test_driver_survives_completions_past_cq_capacity(self):
+        # Regression for the fleet-scale hang: each worker's UCX CQ sees
+        # one completion per fetch, and a long job must not strand once
+        # the *cumulative* count passes the CQ capacity (the context
+        # drains what it dispatches; an undrained queue hits the
+        # silent capacity drop and the driver never finishes — first
+        # seen mid-run in the monolithic 10240-QP tab13 baseline).
+        cluster = SparkCluster(workers=2, total_qps=16,
+                               env={"UCX_IB_PREFER_ODP": "n"})
+        for worker in cluster.workers:
+            worker.ucx.cq.capacity = 8
+        rounds = [ShuffleRound(compute_ns=0, fetches_per_qp=2)
+                  for _ in range(6)]  # 16 completions/worker/round
+        proc = cluster.run_job(rounds)
+        cluster.sim.run_until_idle()
+        _ = proc.result  # raises FutureError on the pre-fix hang
+        assert all(w.ucx.cq.overflows == 0 for w in cluster.workers)
+        assert all(w.ucx.cq.depth == 0 for w in cluster.workers)
+
     def test_warm_pool_does_not_refault_across_rounds(self):
         env = {"UCX_IB_PREFER_ODP": "y"}
         cluster = SparkCluster(workers=2, total_qps=32, env=env)

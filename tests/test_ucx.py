@@ -146,6 +146,34 @@ class TestRma:
         assert flushed.done
         assert ep_a.inflight == 0
 
+    def test_context_consumes_cqes_past_cq_capacity(self):
+        # Regression: the context is the sole consumer of its private
+        # CQ, so every dispatched CQE must also be drained from the
+        # entry queue.  Undrained entries accumulate until the CQ's
+        # capacity drop kicks in, after which completions are silently
+        # lost and their futures strand (first seen as a driver hang in
+        # the 10k-QP tab13 cell, where per-worker completions cross the
+        # default capacity mid-job).
+        cluster, a, b, ep_a, ep_b = make_ucx_pair(
+            env_a={"UCX_IB_PREFER_ODP": "n"},
+            env_b={"UCX_IB_PREFER_ODP": "n"})
+        a.cq.capacity = 4  # far fewer than the completions below
+        mem_a = a.mem_map(a.node.mmap(4096, populate=True))
+        mem_b = b.mem_map(b.node.mmap(4096, populate=True))
+
+        def workload():
+            for i in range(32):
+                got = yield ep_a.get(mem_a, 0, 16, mem_b.addr(0),
+                                     mem_b.rkey)
+                assert got == 16
+            return "done"
+
+        proc = Process(cluster.sim, workload())
+        cluster.sim.run_until_idle()
+        assert proc.result == "done"
+        assert a.cq.overflows == 0
+        assert a.cq.depth == 0
+
     def test_failed_operation_rejects_future(self):
         cluster, a, b, ep_a, ep_b = make_ucx_pair(
             env_a={"UCX_IB_PREFER_ODP": "n"})
