@@ -109,6 +109,13 @@ class MicrobenchConfig:
     #: with it off — but it defaults off so the object path stays the
     #: reference executor and numpy stays optional.
     arraycore: bool = False
+    #: ODP-pitfall countermeasure strategy, by registry name (see
+    #: :mod:`repro.mitigate`).  ``"none"`` (the default) resolves to no
+    #: strategy object at all and is bit-identical to the baseline.  A
+    #: strategy incompatible with the coalescer/arraycore fast paths
+    #: declines them to the scalar path with a tally in the result's
+    #: ``mitigation_fallbacks`` — never a silent behaviour change.
+    mitigation: str = "none"
     #: Fleet decomposition: run the workload as this many independent
     #: client/server QP groups, each a hermetic simulator seeded from
     #: :func:`repro.experiments.shard.group_seed`, with results merged
@@ -172,6 +179,13 @@ class MicrobenchResult:
     #: bit-identical.
     coalesced_rounds: int = 0
     events_coalesced: int = 0
+    #: Fast paths the mitigation strategy declined (``"arraycore"``: the
+    #: table was requested but the strategy is incompatible;
+    #: ``"coalesce"``: rounds the coalescer declined for the strategy).
+    #: Execution-shape bookkeeping like ``coalesced_rounds`` — not a
+    #: reported metric, and legitimately differs across fast-path knobs
+    #: while everything above is bit-identical.
+    mitigation_fallbacks: Dict[str, int] = field(default_factory=dict)
 
     @property
     def execution_time_s(self) -> float:
@@ -230,11 +244,26 @@ def run_microbench(config: MicrobenchConfig,
             node.rnic.lazy_payloads = True
     for node in cluster.nodes:
         node.rnic.coalesce = config.coalesce
-    if config.arraycore:
+    from repro.mitigate import resolve_strategy
+    strategy = resolve_strategy(config.mitigation)
+    fallbacks: Dict[str, int] = {}
+    if strategy is not None:
+        # Installed before QP creation: QPs snapshot the device default.
+        for node in cluster.nodes:
+            node.rnic.mitigation = strategy
+    use_arraycore = config.arraycore
+    if use_arraycore and strategy is not None \
+            and not strategy.arraycore_compatible:
+        # Decline the fast path, tallied — never silently change results.
+        use_arraycore = False
+        fallbacks["arraycore"] = 1
+    if use_arraycore:
         for node in cluster.nodes:
             node.rnic.enable_arraycore(capacity=2 * config.num_qps + 4)
         cluster.network.enable_bulk()
 
+    client_rnic = client_node.rnic
+    server_rnic = server_node.rnic
     client_ctx = client_node.open_device()
     server_ctx = server_node.open_device()
     client_pd = client_ctx.alloc_pd()
@@ -276,11 +305,50 @@ def run_microbench(config: MicrobenchConfig,
         (wc.wr_id, wc.completed_at, wc.status))
 
     timing: Dict[str, int] = {}
+    ahead = strategy.advise_ahead_pages if strategy is not None else 0
+    qpns = [qp.qpn for qp in client_qps]
+
+    def advise_pages(first: int, last: int) -> None:
+        """Prefetch buffer pages [first, last): ``ibv_advise_mr`` on the
+        server side (translations), first-touch prewarm on the stateful
+        client side (translations + per-QP views)."""
+        start = first * PAGE_SIZE
+        span = min(last * PAGE_SIZE, config.buffer_bytes) - start
+        if span <= 0:
+            return
+        if config.odp.server_odp:
+            server_rnic.odp.advise_range(server_mr, remote_buf.addr(start),
+                                         span)
+        if config.odp.client_odp:
+            client_rnic.odp.prewarm_views(qpns, client_mr,
+                                          local_buf.addr(start), span)
 
     def benchmark():
         yield all_of([client_mr.ready, server_mr.ready])
+        advised = 0
+        if ahead and strategy.prewarm_first_touch:
+            # Warm-up phase: the initial window is pre-faulted before the
+            # timed loop, waiting out the server-side driver faults the
+            # way an application warm-up stage would.
+            advised = min(ahead, config.pages_involved)
+            if config.odp.server_odp:
+                warm = server_rnic.odp.advise_range(
+                    server_mr, remote_buf.addr(0),
+                    min(advised * PAGE_SIZE, config.buffer_bytes))
+                if warm is not None and not warm.done:
+                    yield warm
+            if config.odp.client_odp:
+                client_rnic.odp.prewarm_views(
+                    qpns, client_mr, local_buf.addr(0),
+                    min(advised * PAGE_SIZE, config.buffer_bytes))
         timing["start"] = sim.now
         for i in range(config.num_ops):
+            if ahead:
+                want = min(page_of_op(i, config.size) + ahead,
+                           config.pages_involved)
+                if advised < want:
+                    advise_pages(advised, want)
+                    advised = want
             local = Sge(client_mr, local_buf.addr(i * config.size),
                         config.size)
             remote = RemoteAddr(remote_buf.addr(i * config.size),
@@ -300,8 +368,10 @@ def run_microbench(config: MicrobenchConfig,
                            f"(pending events: {sim.pending_events()})")
     _ = proc.result  # surface exceptions
 
-    client_rnic = client_node.rnic
-    server_rnic = server_node.rnic
+    declined = sum(qp.coalescer.decline_reasons.get("mitigation", 0)
+                   for qp in client_qps)
+    if declined:
+        fallbacks["coalesce"] = declined
     timeouts = sum(qp.requester.timeouts for qp in client_qps)
     errors = sum(1 for _wr, _t, status in completions if status.is_error)
     integrity_errors = 0
@@ -336,4 +406,5 @@ def run_microbench(config: MicrobenchConfig,
         coalesced_rounds=sum(
             qp.coalescer.rounds_coalesced for qp in client_qps),
         events_coalesced=sim.events_coalesced,
+        mitigation_fallbacks=fallbacks,
     )

@@ -1,0 +1,160 @@
+"""Mitigation strategy-comparison benchmark and its CI gate.
+
+Runs the :mod:`repro.mitigate.compare` grid — every registered
+countermeasure strategy against the four pitfall scenarios, with and
+without the fixed chaos plan — and snapshots the rows, verdicts, and a
+``strategy=none`` bit-identity probe into ``BENCH_mitigation.json``.
+
+``--check BASELINE`` turns the snapshot into a regression gate:
+
+* the unmitigated ``none`` run must still exhibit each scenario's
+  pitfall episode (else the reproduction itself regressed);
+* at least one strategy must mitigate every scenario (episode absent
+  or stall cut >= 2x, judged by ``telemetry.diagnose``);
+* the invariant monitor must be clean in every cell;
+* ``strategy=none`` must stay bit-identical to a run without the
+  mitigation knob;
+* the committed baseline must name the same scenario set (so a
+  scenario silently dropped from the grid fails loudly).
+
+Run ``python -m repro.bench.mitigatebench`` from the repo root, or
+``python -m repro mitigate`` for the human-readable grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.bench.microbench import run_microbench
+from repro.mitigate.compare import run_compare, scenarios
+from repro.telemetry.smoke import _surface
+
+
+def _none_identity(seed: int, fast: bool) -> Dict[str, bool]:
+    """Does ``mitigation="none"`` reproduce the un-knobbed run bit for
+    bit?  Probed on the damming and flood scenario shapes."""
+    verdicts: Dict[str, bool] = {}
+    for scenario in scenarios(fast):
+        if scenario.name not in ("fig04-damming", "fig09-flood"):
+            continue
+        import dataclasses
+        explicit = scenario.config(seed, "none", telemetry=None)
+        # the un-knobbed twin: same fields, mitigation left at default
+        fields = {f.name: getattr(explicit, f.name)
+                  for f in dataclasses.fields(explicit)
+                  if f.name != "mitigation"}
+        implicit = type(explicit)(**fields)
+        verdicts[scenario.name] = (
+            _surface(run_microbench(explicit))
+            == _surface(run_microbench(implicit)))
+    return verdicts
+
+
+def run_bench(smoke: bool, seed: int = 0) -> Dict[str, Any]:
+    """The full grid plus the none-identity probe."""
+    report = run_compare(seed=seed, fast=smoke, chaos=True)
+    return {
+        "seed": seed,
+        "scenarios": sorted({row.scenario for row in report.rows}),
+        "grid": report.as_dict(),
+        "none_bit_identical": _none_identity(seed, smoke),
+    }
+
+
+def check_report(report: Dict[str, Any], committed_path: str) -> List[str]:
+    """The CI gate over a freshly measured report."""
+    with open(committed_path) as fh:
+        committed = json.load(fh)
+    failures: List[str] = []
+    grid = report["workloads"]["grid"]
+    rows = grid["rows"]
+    verdicts = grid["verdicts"]
+
+    by_scenario: Dict[str, List[Dict[str, Any]]] = {}
+    for row in rows:
+        by_scenario.setdefault(row["scenario"], []).append(row)
+    for name, cells in sorted(by_scenario.items()):
+        pitfall = cells[0]["pitfall"]
+        episode_key = ("damming_episodes" if pitfall == "damming"
+                       else "flood_episodes")
+        baseline = [c for c in cells if c["strategy"] == "none"
+                    and not c["chaos"]]
+        if not baseline:
+            failures.append(f"{name}: no strategy=none baseline cell")
+        elif baseline[0][episode_key] < 1:
+            failures.append(
+                f"{name}: unmitigated run no longer exhibits its "
+                f"{pitfall} episode (reproduction regressed)")
+        mitigators = [v["strategy"] for v in verdicts
+                      if v["scenario"] == name and not v["chaos"]
+                      and v["mitigated"]]
+        if not mitigators:
+            failures.append(f"{name}: no strategy mitigates the "
+                            f"{pitfall} episode")
+        chaos_mitigators = [v["strategy"] for v in verdicts
+                            if v["scenario"] == name and v["chaos"]
+                            and v["mitigated"]]
+        if not chaos_mitigators:
+            failures.append(f"{name}: no strategy mitigates under the "
+                            "chaos plan")
+    dirty = [f"{row['scenario']}/{row['strategy']}"
+             f"{'+chaos' if row['chaos'] else ''}"
+             for row in rows if row["monitor_violations"]]
+    if dirty:
+        failures.append("invariant violations in cells: "
+                        + ", ".join(dirty))
+    for name, identical in sorted(
+            report["workloads"]["none_bit_identical"].items()):
+        if not identical:
+            failures.append(f"{name}: strategy=none is not bit-identical "
+                            "to the un-knobbed run")
+    committed_scenarios = committed.get("workloads", {}).get("scenarios")
+    if committed_scenarios is not None \
+            and committed_scenarios != report["workloads"]["scenarios"]:
+        failures.append(
+            f"scenario set changed: committed {committed_scenarios} vs "
+            f"measured {report['workloads']['scenarios']}")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mitigatebench",
+        description="Score every ODP-pitfall mitigation strategy and "
+                    "write BENCH_mitigation.json.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast grid shapes (CI)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_mitigation.json",
+                        help="output path (default: ./BENCH_mitigation.json)")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="gate: exit 1 unless every pitfall is "
+                             "exhibited by none and mitigated by some "
+                             "strategy, monitor clean, none bit-identical")
+    args = parser.parse_args(argv)
+
+    report = {
+        "bench": "repro.bench.mitigatebench",
+        "mode": "smoke" if args.smoke else "full",
+        "python": sys.version.split()[0],
+        "workloads": run_bench(args.smoke, seed=args.seed),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    if args.check is not None:
+        failures = check_report(report, args.check)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("check passed: no regression against", args.check)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -24,13 +24,13 @@ import argparse
 import json
 import sys
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.chaos import ChaosEngine, ChaosPlan, FaultKind, FaultWindow
 from repro.host.cluster import Cluster, ReconnectResult
 from repro.ib.device import DeviceProfile
 from repro.ib.validate import InvariantMonitor
-from repro.ib.verbs.enums import Access, WcStatus
+from repro.ib.verbs.enums import Access, OdpMode, WcStatus
 from repro.ib.verbs.qp import QpAttrs, connect_pair
 from repro.ib.verbs.wr import RemoteAddr, Sge, WorkRequest
 from repro.sim.timebase import MS, US
@@ -52,10 +52,30 @@ class RecoveryConfig:
     ops_after: int = 4
     cack: int = 14
     retry_count: int = 1
+    #: what kills the connection: ``link-flap`` (the classic partition,
+    #: exhausting the transport retry budget) or ``rnr-exhaustion`` (an
+    #: eviction storm on a server-side ODP buffer keeps answering RNR
+    #: NAK until the finite ``rnr_retry`` budget dies with
+    #: ``IBV_WC_RNR_RETRY_EXC_ERR``).
+    failure: str = "link-flap"
+    #: 3-bit RNR Retry budget; 7 retries forever.  The rnr-exhaustion
+    #: scenario needs a finite value to fail at all.
+    rnr_retry: int = 7
+    #: long enough for one cold ODP fault to resolve within a single
+    #: NAK cycle (the paper's canonical advertised timer); the storm
+    #: still re-evicts faster than the budget can recover.
+    min_rnr_timer_ns: int = round(1.28 * MS)
     flap_start_ns: int = 1 * MS
     #: long enough to outlive retry exhaustion (~2 detection timeouts at
     #: the ConnectX-4 floor), so reconnect has to back off.
     flap_len_ns: int = 2_500 * MS
+    #: rnr-exhaustion: when the server-side eviction storm opens (late
+    #: enough that the healthy phase — including its one cold-fault RNR
+    #: cycle — finishes first), how long it keeps re-evicting the READ
+    #: target, and its churn cadence.
+    storm_start_ns: int = 20 * MS
+    storm_len_ns: int = 50 * MS
+    storm_period_ns: int = 100 * US
     base_backoff_ns: int = 10 * MS
     max_attempts: int = 12
 
@@ -80,12 +100,23 @@ class RecoveryResult:
     downtime_ns: int = 0
     ops_completed_after: int = 0
     invariant_violations: int = 0
+    #: per-QP tally of failure CQE statuses (the head error plus the
+    #: flushed batch), so RNR budget exhaustion is attributed to its QP
+    #: instead of folding into a generic timeout line.
+    error_breakdown: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def rnr_exhausted_qps(self) -> List[str]:
+        """QPs whose RNR Retry budget died (`IBV_WC_RNR_RETRY_EXC_ERR`)."""
+        status = WcStatus.RNR_RETRY_EXC_ERR.value
+        return sorted(qp for qp, counts in self.error_breakdown.items()
+                      if counts.get(status))
 
     def render(self) -> str:
         lines = [
             "Recovery scenario "
-            f"(seed {self.config.seed}, retry_count "
-            f"{self.config.retry_count})",
+            f"(seed {self.config.seed}, failure {self.config.failure}, "
+            f"retry_count {self.config.retry_count}, rnr_retry "
+            f"{self.config.rnr_retry})",
             f"  error CQE           : {self.error_status}",
             f"  detection           : {self.detect_ns / 1e6:10.3f} ms "
             f"after link down",
@@ -96,6 +127,14 @@ class RecoveryResult:
             f"  fresh ops completed : {self.ops_completed_after}",
             f"  invariant violations: {self.invariant_violations}",
         ]
+        for qp, counts in sorted(self.error_breakdown.items()):
+            detail = ", ".join(f"{status} x{count}" for status, count
+                               in sorted(counts.items()))
+            lines.append(f"  {qp} errors          : {detail}")
+        exhausted = self.rnr_exhausted_qps()
+        if exhausted:
+            lines.append("  rnr budget exhausted: "
+                         + ", ".join(exhausted))
         return "\n".join(lines)
 
 
@@ -107,24 +146,44 @@ def run_recovery(config: RecoveryConfig) -> RecoveryResult:
     monitor = InvariantMonitor(cluster)
     client_node, server_node = cluster.nodes
 
+    rnr_mode = config.failure == "rnr-exhaustion"
     sides = []
     for node in (client_node, server_node):
         ctx = node.open_device()
         pd = ctx.alloc_pd()
         cq = ctx.create_cq()
         buf = node.mmap(64 * 1024, populate=True)
-        mr = pd.reg_mr(buf, access=Access.all())
+        # rnr-exhaustion needs an evictable (ODP) target on the server,
+        # so the storm can unmap the READ source between retries.
+        odp = (OdpMode.EXPLICIT if rnr_mode and node is server_node
+               else OdpMode.PINNED)
+        mr = pd.reg_mr(buf, access=Access.all(), odp=odp)
         qp = pd.create_qp(send_cq=cq)
         sides.append((node, cq, buf, mr, qp))
     (_, client_cq, client_buf, client_mr, client_qp) = sides[0]
     (_, _server_cq, server_buf, server_mr, server_qp) = sides[1]
-    attrs = QpAttrs(cack=config.cack, retry_count=config.retry_count)
+    attrs = QpAttrs(cack=config.cack, retry_count=config.retry_count,
+                    rnr_retry=config.rnr_retry,
+                    min_rnr_timer_ns=config.min_rnr_timer_ns)
     connect_pair(client_qp, server_qp, attrs)
     sim.run_until_idle()  # flush registration costs
 
-    plan = ChaosPlan([FaultWindow(
-        config.flap_start_ns, config.flap_start_ns + config.flap_len_ns,
-        FaultKind.LINK_FLAP, lids=(server_node.lid,))])
+    if rnr_mode:
+        # Evict every unpinned server page each tick so the replayed
+        # READ keeps landing on an unmapped target: consecutive RNR
+        # NAKs with no progress in between burn the rnr_retry budget.
+        fault_start = config.storm_start_ns
+        fault_end = fault_start + config.storm_len_ns
+        plan = ChaosPlan([FaultWindow(
+            fault_start, fault_end, FaultKind.EVICTION_STORM,
+            lids=(server_node.lid,), pages=64,
+            period_ns=config.storm_period_ns)])
+    else:
+        fault_start = config.flap_start_ns
+        fault_end = fault_start + config.flap_len_ns
+        plan = ChaosPlan([FaultWindow(
+            fault_start, fault_end,
+            FaultKind.LINK_FLAP, lids=(server_node.lid,))])
     ChaosEngine(cluster, plan, seed=config.seed).install()
 
     def read_wr(wr_id: int) -> WorkRequest:
@@ -140,9 +199,12 @@ def run_recovery(config: RecoveryConfig) -> RecoveryResult:
             client_qp.post_send(read_wr(i))
             (wc,) = yield client_cq.wait(1)
             assert wc.ok, f"healthy phase failed: {wc.status}"
-        # Step into the flap window and post the doomed batch.
-        if sim.now < config.flap_start_ns:
-            yield config.flap_start_ns - sim.now + 10 * US
+        # Step into the fault window and post the doomed batch.  The
+        # storm's first evictions only reach the NIC translation after
+        # the invalidation latency, so give that path time to land.
+        slack = 100 * US if rnr_mode else 10 * US
+        if sim.now < fault_start + slack:
+            yield fault_start + slack - sim.now
         timeline["flap_entered"] = sim.now
         for i in range(config.inflight_at_failure):
             client_qp.post_send(read_wr(100 + i))
@@ -151,6 +213,7 @@ def run_recovery(config: RecoveryConfig) -> RecoveryResult:
         (error_wc,) = yield client_cq.wait(1)
         timeline["error_at"] = sim.now
         timeline["error_status"] = error_wc.status.value
+        timeline["error_wc"] = error_wc
         reconnect = cluster.reconnect(
             client_qp, server_qp, attrs,
             base_backoff_ns=config.base_backoff_ns,
@@ -158,6 +221,10 @@ def run_recovery(config: RecoveryConfig) -> RecoveryResult:
         recon: ReconnectResult = yield reconnect
         timeline["reconnected_at"] = sim.now
         timeline["reconnect"] = recon
+        if rnr_mode and sim.now < fault_end:
+            # The storm outlives the reconnect (links never went down);
+            # fresh ops would just burn the budget again.
+            yield fault_end - sim.now + 10 * US
         completed = 0
         for i in range(config.ops_after):
             client_qp.post_send(read_wr(200 + i))
@@ -175,6 +242,10 @@ def run_recovery(config: RecoveryConfig) -> RecoveryResult:
     proc.result  # surface any in-process assertion
 
     recon: ReconnectResult = timeline["reconnect"]
+    breakdown: Dict[str, Dict[str, int]] = {}
+    for wc in [timeline["error_wc"]] + list(recon.flushed):
+        counts = breakdown.setdefault(f"qp{wc.qp_num}", {})
+        counts[wc.status.value] = counts.get(wc.status.value, 0) + 1
     return RecoveryResult(
         config=config,
         error_status=timeline["error_status"],
@@ -186,19 +257,31 @@ def run_recovery(config: RecoveryConfig) -> RecoveryResult:
         downtime_ns=timeline["first_success_at"] - timeline["error_at"],
         ops_completed_after=timeline["ops_after"],
         invariant_violations=len(monitor.violations),
+        error_breakdown=breakdown,
     )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--failure", default="link-flap",
+                        choices=("link-flap", "rnr-exhaustion"),
+                        help="fault scenario (default: link-flap)")
+    parser.add_argument("--rnr-retry", type=int, default=None,
+                        help="RNR Retry budget (default: 7 for link-flap, "
+                             "2 for rnr-exhaustion)")
     parser.add_argument("--json", action="store_true",
                         help="emit the result as JSON")
     args = parser.parse_args(argv)
-    result = run_recovery(RecoveryConfig(seed=args.seed))
+    rnr_retry = args.rnr_retry
+    if rnr_retry is None:
+        rnr_retry = 2 if args.failure == "rnr-exhaustion" else 7
+    result = run_recovery(RecoveryConfig(
+        seed=args.seed, failure=args.failure, rnr_retry=rnr_retry))
     if args.json:
         payload = {
             "seed": result.config.seed,
+            "failure": result.config.failure,
             "error_status": result.error_status,
             "detect_ns": result.detect_ns,
             "reconnect_ns": result.reconnect_ns,
@@ -207,6 +290,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "downtime_ns": result.downtime_ns,
             "ops_completed_after": result.ops_completed_after,
             "invariant_violations": result.invariant_violations,
+            "error_breakdown": result.error_breakdown,
+            "rnr_exhausted_qps": result.rnr_exhausted_qps(),
         }
         print(json.dumps(payload, indent=2))
     else:

@@ -44,6 +44,9 @@ def _metrics(result: MicrobenchResult) -> Dict:
     data.pop("config", None)
     data.pop("coalesced_rounds", None)
     data.pop("events_coalesced", None)
+    # like the coalescer counters: which fast paths a mitigation
+    # strategy declined is execution shape, not behaviour.
+    data.pop("mitigation_fallbacks", None)
     return data
 
 
@@ -140,6 +143,24 @@ def run_chaos_smoke(seed: int = 0, fast: bool = False) -> str:
         f"  flood-shape: coalesce on == off under chaos "
         f"({on.coalesced_rounds} rounds coalesced, "
         f"{chaos_on.stats.get('drop', 0)} chaos drops)")
+
+    # Gate 4: chaos x mitigation — every registered countermeasure
+    # strategy must stay deterministic under a fixed compound fault
+    # plan: same-seed runs must reproduce metrics, chaos fingerprints,
+    # and drop logs bit-identically, monitor clean throughout.
+    from repro.mitigate import STRATEGIES
+    mitigation_plan = ChaosPlan([
+        FaultWindow(0, 1 * MS, FaultKind.DROP, probability=0.3),
+        FaultWindow(500 * US, 2 * MS, FaultKind.EVICTION_STORM,
+                    lids=(1,), period_ns=100 * US, pages=2)])
+    mqps, mops = (6, 36) if fast else (12, 72)
+    for name in sorted(STRATEGIES):
+        config = MicrobenchConfig(
+            size=400, num_ops=mops, num_qps=mqps, odp=OdpSetup.CLIENT,
+            cack=14, retry_count=7, seed=seed + 90, integrity=False,
+            min_rnr_timer_ns=round(1.28 * MS), mitigation=name)
+        _gate_reproducible(f"mitigation-{name}", config, mitigation_plan,
+                           seed, lines)
 
     lines.append("all chaos smoke gates passed")
     return "\n".join(lines)

@@ -170,6 +170,14 @@ def _trace(fast: bool, seed: int, jobs=None) -> str:
             + tel.diagnose().render())
 
 
+def _mitigate(fast: bool, seed: int, jobs=None) -> str:
+    """Score every registered ODP-pitfall countermeasure strategy
+    against the damming/flood scenarios, with and without the fixed
+    chaos plan, and render the what-if grid plus verdicts."""
+    from repro.mitigate.compare import run_compare
+    return run_compare(seed=seed, fast=fast, chaos=True).render()
+
+
 def _recovery(fast: bool, seed: int, jobs=None) -> str:
     from repro.bench.recovery import RecoveryConfig, run_recovery
     result = run_recovery(RecoveryConfig(seed=seed))
@@ -190,6 +198,7 @@ BENCHES: Dict[str, str] = {
     "tracebench": "BENCH_telemetry.json",
     "scalebench": "BENCH_scale.json",
     "tab13bench": "BENCH_tab13.json",
+    "mitigatebench": "BENCH_mitigation.json",
 }
 
 
@@ -243,6 +252,7 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "fig12": _fig12,
     "tab13": _tab13,
     "chaos": _chaos,
+    "mitigate": _mitigate,
     "recovery": _recovery,
     "telemetry": _telemetry,
     "counters": _counters,

@@ -51,8 +51,14 @@ class Figure4Result:
 
 def run_figure4(intervals_ms: Optional[List[float]] = None,
                 trials: int = 10, seed: int = 0,
-                min_rnr_delay_ms: float = 1.28) -> Figure4Result:
-    """Sweep the interval with 10 trials each, as in the paper."""
+                min_rnr_delay_ms: float = 1.28,
+                mitigation: str = "none") -> Figure4Result:
+    """Sweep the interval with 10 trials each, as in the paper.
+
+    ``mitigation`` selects a countermeasure strategy from
+    :mod:`repro.mitigate` — the default ``"none"`` is the paper's
+    unmitigated hardware and is bit-identical to omitting the knob.
+    """
     if intervals_ms is None:
         intervals_ms = [0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 2.5,
                         3.0, 3.5, 4.0, 4.5, 5.0, 5.5, 6.0]
@@ -65,6 +71,7 @@ def run_figure4(intervals_ms: Optional[List[float]] = None,
                 num_ops=2, odp=OdpSetup.BOTH,
                 interval_us=interval_ms * 1000,
                 min_rnr_timer_ns=round(min_rnr_delay_ms * MS),
+                mitigation=mitigation,
                 seed=seed * 1009 + trial))
             execs.append(result.execution_time_s)
             timeouts += 1 if result.timed_out else 0

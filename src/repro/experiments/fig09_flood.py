@@ -107,7 +107,7 @@ class Figure9Result:
 
 def _measure_point(point) -> Figure9Point:
     """One (mode, #QPs) cell on a fresh per-point simulator (pool-safe)."""
-    mode, num_qps, size, num_ops, cack, seed = point
+    mode, num_qps, size, num_ops, cack, seed, mitigation = point
     run = run_microbench(MicrobenchConfig(
         size=size, num_ops=num_ops,
         num_qps=min(num_qps, num_ops),
@@ -115,7 +115,7 @@ def _measure_point(point) -> Figure9Point:
         min_rnr_timer_ns=round(1.28 * MS),
         # The flood sweep moves millions of packets; lazy payloads skip
         # the byte copies without changing any reported metric.
-        integrity=False,
+        integrity=False, mitigation=mitigation,
         seed=point_seed(seed, mode, num_qps)))
     return Figure9Point(
         num_qps=num_qps,
@@ -153,7 +153,8 @@ def run_figure9(qps_values: Optional[List[int]] = None,
                 cack: Optional[int] = None,
                 processes: Optional[int] = None,
                 num_groups: int = 1,
-                shards: Optional[int] = None) -> Figure9Result:
+                shards: Optional[int] = None,
+                mitigation: str = "none") -> Figure9Result:
     """Sweep QP count x ODP mode.  ``scale`` divides the op count.
 
     The paper uses ``C_ACK = 18`` (T_o ~2 s).  Down-scaled runs default
@@ -167,6 +168,10 @@ def run_figure9(qps_values: Optional[List[int]] = None,
     many-QP flood cells start before the cheap baselines backfill.
     ``processes`` sizes the pool (every point owns its seed, so results
     are bit-identical to a serial run for any value).
+
+    ``mitigation`` names a countermeasure strategy from
+    :mod:`repro.mitigate`; it rides the point/fleet configs like any
+    other grid axis (``"none"`` is bit-identical to omitting it).
 
     ``num_groups > 1`` additionally *shards* each cell big enough to
     split: the cell becomes a QP-group fleet (largest group count <=
@@ -191,7 +196,7 @@ def run_figure9(qps_values: Optional[List[int]] = None,
     tasks = []
     for mode in mode_list:
         for num_qps in qps_list:
-            point = (mode, num_qps, size, num_ops, cack, seed)
+            point = (mode, num_qps, size, num_ops, cack, seed, mitigation)
             eff_qps = min(num_qps, num_ops)
             groups = effective_groups(num_groups, eff_qps, num_ops)
             if groups <= 1:
@@ -203,6 +208,7 @@ def run_figure9(qps_values: Optional[List[int]] = None,
                 odp=mode, cack=cack,
                 min_rnr_timer_ns=round(1.28 * MS),
                 integrity=False, num_groups=groups,
+                mitigation=mitigation,
                 seed=point_seed(seed, mode, num_qps))
             tasks.append(FleetTask(
                 config, weight=eff_qps, shards=shards,

@@ -513,7 +513,17 @@ def merge_results(config, group_results: Sequence[GroupResult]):
         integrity_errors=sum(r.integrity_errors for r in results),
         coalesced_rounds=sum(r.coalesced_rounds for r in results),
         events_coalesced=sum(r.events_coalesced for r in results),
+        mitigation_fallbacks=_merge_fallbacks(results),
     )
+
+
+def _merge_fallbacks(results) -> dict:
+    """Sum per-reason mitigation fallback tallies across groups."""
+    merged: dict = {}
+    for result in results:
+        for reason, count in sorted(result.mitigation_fallbacks.items()):
+            merged[reason] = merged.get(reason, 0) + count
+    return merged
 
 
 def _ordered(group_results: Sequence[GroupResult]) -> List[GroupResult]:

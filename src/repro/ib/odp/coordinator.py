@@ -19,7 +19,8 @@ cold, and the QP keeps blindly retransmitting and discarding responses
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.host.memory import PAGE_SIZE
 from repro.sim.engine import Simulator
@@ -62,6 +63,17 @@ class OdpCoordinator:
         self.ready_cache_misses = 0
         self.client_faults = 0
         self.server_faults = 0
+        #: dynamic-pin (NP-RDMA) state: pages speculated hot and pinned
+        #: (resident + reclaim-immune + exempt from per-QP status
+        #: updates), their fault-feedback tallies, and the LRU order the
+        #: pin budget releases them in.  All empty unless an installed
+        #: mitigation strategy has ``pin_pages``.
+        self._pinned: Set[PageKey] = set()
+        self._pin_feedback: Dict[PageKey, int] = {}
+        self._pin_lru: "OrderedDict[PageKey, MemoryRegion]" = OrderedDict()
+        self.pins_installed = 0
+        self.pins_released = 0
+        self.pin_bypasses = 0
         rnic.status_engine.load_fn = self.retransmit_load
         # Fault transitions (resume enqueues) also invalidate: a range
         # answered "ready" can never be made unready by a fault alone,
@@ -84,9 +96,12 @@ class OdpCoordinator:
 
     def responder_raise_faults(self, mr: "MemoryRegion", addr: int, size: int) -> None:
         """Raise (coalesced) faults for the unmapped pages of the range."""
+        m = self.rnic.mitigation
         for page in self.rnic.translation.missing_pages(mr, addr, size):
             self.server_faults += 1
             self.rnic.driver.request_fault(self.rnic, mr, page)
+            if m is not None and m.pin_pages:
+                self._note_pin_feedback(mr, page, m)
 
     # ------------------------------------------------------------------
     # Requester (client-side ODP): stateful per-QP views
@@ -97,7 +112,9 @@ class OdpCoordinator:
         """Can QP ``qpn`` use this local range right now?
 
         Requires both a valid translation *and* the page in the QP's own
-        status view.  Memoised per (QP, MR, range); see ``_ready_cache``.
+        status view — or the page device-pinned by the dynamic-pin
+        mitigation, which models presence for every QP at once.
+        Memoised per (QP, MR, range); see ``_ready_cache``.
         """
         translation = self.rnic.translation
         handle = mr.handle
@@ -116,18 +133,21 @@ class OdpCoordinator:
         # single-page range once per discarded response, and the view
         # generation bumps on every status-engine transition, so this
         # miss loop — not the cache hit — is the hot path.
+        pinned = self._pinned
         verdict = True
         if size > 0:
             first = addr // PAGE_SIZE
             last = (addr + size - 1) // PAGE_SIZE
             if first == last:
-                if (handle, first) not in mapped \
-                        or (qpn, handle, first) not in view:
+                if ((handle, first) not in mapped
+                        or (qpn, handle, first) not in view) \
+                        and (handle, first) not in pinned:
                     verdict = False
             else:
                 for page in range(first, last + 1):
-                    if (handle, page) not in mapped \
-                            or (qpn, handle, page) not in view:
+                    if ((handle, page) not in mapped
+                            or (qpn, handle, page) not in view) \
+                            and (handle, page) not in pinned:
                         verdict = False
                         break
         self._ready_cache[key] = (vgen, tgen, verdict)
@@ -147,6 +167,16 @@ class OdpCoordinator:
         existing = self._fresh_futures.get(key)
         if existing is not None and not existing.done:
             return existing
+        if self._pinned and (mr.handle, page) in self._pinned:
+            # Dynamic-pin fast path: a device-pinned page needs no
+            # per-QP status update, so the status engine — the flood's
+            # congestion point — is bypassed entirely.
+            self.pin_bypasses += 1
+            self.rnic.status_engine.note_bypass()
+            self._pin_lru.move_to_end((mr.handle, page))
+            ready = Future(label=f"fresh:{key}")
+            ready.resolve(page)
+            return ready
         if self.rnic.translation.is_mapped(mr, page) and key in self._view:
             ready = Future(label=f"fresh:{key}")
             ready.resolve(page)
@@ -162,6 +192,13 @@ class OdpCoordinator:
             if slot is not None:
                 ac.col("stale")[slot] = True
         self.client_faults += 1
+        m = self.rnic.mitigation
+        if m is not None and m.pin_pages:
+            # Fault feedback is the dynamic-pin speculation signal: the
+            # faulting QP still pays this fault in full (driver + one
+            # engine update); once the tally crosses the threshold the
+            # page pins and every *later* QP bypasses the engine.
+            self._note_pin_feedback(mr, page, m)
         tel = self.rnic.telemetry
         if tel is not None:
             tel.mark(("fault", qpn, mr.handle, page), self.sim.now)
@@ -206,16 +243,76 @@ class OdpCoordinator:
         fresh.resolve(key[2])
 
     # ------------------------------------------------------------------
+    # Dynamic pin (NP-RDMA-style page-presence speculation)
+    # ------------------------------------------------------------------
+
+    def _note_pin_feedback(self, mr: "MemoryRegion", page: int,
+                           strategy) -> None:
+        """Tally fault feedback; pin the page once it crosses the
+        strategy's threshold."""
+        key = (mr.handle, page)
+        if key in self._pinned:
+            return
+        count = self._pin_feedback.get(key, 0) + 1
+        self._pin_feedback[key] = count
+        if count >= strategy.pin_fault_threshold:
+            self._install_pin(mr, page, strategy)
+
+    def _install_pin(self, mr: "MemoryRegion", page: int, strategy) -> None:
+        """Speculate the page hot: make it resident (restoring swapped
+        bytes), pin it against reclaim, install a sticky translation,
+        and exempt it from per-QP status updates.  Over budget, the
+        least-recently-hit pin releases back to plain ODP — graceful
+        degradation, never a hard failure."""
+        key = (mr.handle, page)
+        mr.vm._restore_or_materialise(page)  # noqa: SLF001
+        mr.vm.pin_range(page * PAGE_SIZE, 1)
+        self.rnic.translation.map_page(mr, page)
+        self.rnic.translation.pin_page(mr, page)
+        self._pinned.add(key)
+        self._pin_lru[key] = mr
+        self._pin_feedback.pop(key, None)
+        self.pins_installed += 1
+        self._bump_view_gen()  # cached "not ready" verdicts are stale
+        tel = self.rnic.telemetry
+        if tel is not None:
+            tel.instant(self.sim.now, "mitigate.pin", self.rnic.lid,
+                        mr.handle, page)
+        while len(self._pinned) > strategy.pin_budget_pages:
+            self._release_oldest_pin()
+
+    def _release_oldest_pin(self) -> None:
+        """LRU budget release: back to plain ODP (translation stays
+        until the kernel reclaims it; per-QP views rebuild on demand)."""
+        key, mr = self._pin_lru.popitem(last=False)
+        self._pinned.discard(key)
+        self.rnic.translation.unpin_page(mr, key[1])
+        mr.vm.unpin_range(key[1] * PAGE_SIZE, 1)
+        self.pins_released += 1
+        self._bump_view_gen()  # cached "ready" verdicts may rest on it
+
+    def pinned_pages(self) -> int:
+        """Pages currently held by the dynamic-pin mitigation."""
+        return len(self._pinned)
+
+    # ------------------------------------------------------------------
     # Prefetch / prewarm
     # ------------------------------------------------------------------
 
-    def advise_range(self, mr: "MemoryRegion", addr: int, size: int) -> None:
+    def advise_range(self, mr: "MemoryRegion", addr: int,
+                     size: int) -> Optional[Future]:
         """``ibv_advise_mr``-style prefetch: resolve translations for the
         range ahead of traffic (the receiver-side prefetch that Li et
         al. [20] found effective).  Per-QP views are *not* touched —
-        each QP still pays its first status update."""
-        for page in self.rnic.translation.missing_pages(mr, addr, size):
-            self.rnic.driver.request_fault(self.rnic, mr, page)
+        each QP still pays its first status update.  Returns a future
+        resolving when every requested fault lands, or None when the
+        range was already fully mapped."""
+        futures = [self.rnic.driver.request_fault(self.rnic, mr, page)
+                   for page in self.rnic.translation.missing_pages(
+                       mr, addr, size)]
+        if not futures:
+            return None
+        return all_of(futures, label=f"advise:{mr.handle}")
 
     def prewarm_views(self, qpns, mr: "MemoryRegion",
                       addr: int, size: int) -> None:
@@ -296,6 +393,12 @@ class OdpCoordinator:
             # inlined: this runs once per status-engine service, over
             # every stale QP, in deep floods.
             pending = len(qp.requester.wqes)
+            # send_window() inlined (strategy BDP bound over the verbs
+            # depth); BDP-bounded strategies are arraycore-incompatible,
+            # so this object walk is the only path that sees them.
             cap = qp.attrs.max_rd_atomic
+            m = qp.mitigation
+            if m is not None and m.bdp_packets and m.bdp_packets < cap:
+                cap = m.bdp_packets
             load += pending if pending < cap else cap
         return load

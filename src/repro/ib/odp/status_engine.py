@@ -50,6 +50,10 @@ class PageStatusEngine:
         self.resumes_done = 0
         self.max_backlog = 0
         self.total_wait_ns = 0
+        #: updates that never reached the stack because the page was
+        #: device-pinned (dynamic-pin mitigation) — the work the
+        #: congestion law would otherwise have charged for.
+        self.bypasses = 0
         #: Supplied by the RNIC: current retransmission pressure
         #: (outstanding READs summed over stale QPs).
         self.load_fn: Callable[[], int] = lambda: 0
@@ -71,6 +75,10 @@ class PageStatusEngine:
     def backlog(self) -> int:
         """Pending updates (including the one in service)."""
         return len(self._stack) + (1 if self._busy else 0)
+
+    def note_bypass(self) -> None:
+        """Record one update avoided by a device-pinned page."""
+        self.bypasses += 1
 
     def enqueue_resume(self, qpn: int, mr_handle: int, page: int,
                        callback: Callable[[], None]) -> None:

@@ -39,9 +39,13 @@ class NicTranslationTable:
         #: (mr, addr, size) -> (generation, verdict); entries from older
         #: generations are dead and lazily overwritten.
         self._range_cache: Dict[RangeKey, Tuple[int, bool]] = {}
+        #: sticky entries (dynamic-pin mitigation): invalidation flows
+        #: cannot flush them — only an explicit unpin or deregistration.
+        self._sticky: Set[PageKey] = set()
         self._gen = 0
         self.map_events = 0
         self.unmap_events = 0
+        self.sticky_saves = 0
         self.range_cache_hits = 0
         self.range_cache_misses = 0
 
@@ -100,16 +104,34 @@ class NicTranslationTable:
         for page in mr.pages_of_range(addr, size):
             self.map_page(mr, page)
 
+    def pin_page(self, mr: "MemoryRegion", page: int) -> None:
+        """Make the entry sticky: immune to invalidation flushes until
+        :meth:`unpin_page` (dynamic-pin mitigation)."""
+        self._sticky.add((mr.handle, page))
+
+    def unpin_page(self, mr: "MemoryRegion", page: int) -> None:
+        """Release a sticky entry back to normal invalidation rules."""
+        self._sticky.discard((mr.handle, page))
+
     def unmap_page(self, mr: "MemoryRegion", page: int) -> None:
         """Flush a translation (invalidation)."""
         key = (mr.handle, page)
+        if self._sticky and key in self._sticky:
+            self.sticky_saves += 1
+            return
         if key in self._mapped:
             self._mapped.remove(key)
             self.unmap_events += 1
             self._bump()
 
     def unmap_all(self, mr: "MemoryRegion") -> int:
-        """Flush every entry of ``mr`` (deregistration); returns count."""
+        """Flush every entry of ``mr`` (deregistration); returns count.
+
+        Deregistration overrides stickiness: the pins die with the MR.
+        """
+        if self._sticky:
+            self._sticky = {key for key in self._sticky
+                            if key[0] != mr.handle}
         keys = [key for key in self._mapped if key[0] == mr.handle]
         for key in keys:
             self._mapped.remove(key)

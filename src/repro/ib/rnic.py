@@ -53,6 +53,12 @@ class Rnic:
         #: its packets takes a known path and nothing can interleave —
         #: so metrics are bit-identical either way.
         self.coalesce = True
+        #: Active ODP-pitfall countermeasure
+        #: (:class:`repro.mitigate.MitigationStrategy`) or None for the
+        #: baseline.  QPs snapshot it at creation; None keeps every hot
+        #: path a single ``is None`` check (the telemetry/arraycore
+        #: idiom), which is the ``strategy=none`` bit-identity story.
+        self.mitigation = None
         self._qps: Dict[int, "QueuePair"] = {}
         self._next_qpn = 0x40
         self._mrs_by_rkey: Dict[int, "MemoryRegion"] = {}

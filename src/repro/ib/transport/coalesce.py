@@ -443,6 +443,12 @@ class StormCoalescer:
         every response is discarded at the stale client.  Returns True
         when the round was applied in closed form."""
         self._fleet_ready = False
+        m = self.qp.mitigation
+        if m is not None and not m.coalesce_compatible:
+            # The strategy rewrites the burst the closed form replays
+            # (selective repeat, BDP windows): decline to the scalar
+            # path with a tallied reason — never silently diverge.
+            return self._decline("mitigation")
         pending = self._joint_pending
         if pending is not None:
             self._joint_pending = None
@@ -1659,6 +1665,9 @@ class StormCoalescer:
         the outstanding sequence-NAK state, and the client re-enters
         RNR_WAIT.  Called from ``_rnr_recover`` after the state returned
         to NORMAL; returns True when applied in closed form."""
+        m = self.qp.mitigation
+        if m is not None and not m.coalesce_compatible:
+            return self._decline("mitigation")  # see coalesce_blind_round
         peer = self._peer()
         if peer is None:
             return False

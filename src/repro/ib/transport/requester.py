@@ -168,7 +168,7 @@ class Requester:
         depth (``max_rd_atomic``) for READ/atomic requests."""
         if self.state != STATE_NORMAL:
             return
-        window = self.qp.attrs.max_rd_atomic
+        window = self.qp.send_window()
         in_flight = sum(1 for w in self.wqes
                         if w.transmitted and w.resp_needed > 0)
         for wqe in self.wqes:
@@ -292,11 +292,40 @@ class Requester:
     def _retransmit_from_oldest(self) -> None:
         """Go-back-N: re-emit every incomplete WQE, oldest first,
         honouring the initiator depth."""
+        m = self.qp.mitigation
+        if m is not None and m.selective:
+            self._retransmit_selective()
+            return
         window = self.qp.attrs.max_rd_atomic
         in_flight = 0
         for wqe in self.wqes:
             if wqe.resp_needed > 0 and in_flight >= window:
                 break  # initiator depth exhausted
+            if not self._emit_wqe(wqe, retransmission=wqe.transmitted):
+                break  # send-side fault stalled the queue mid-burst
+            if wqe.resp_needed > 0:
+                in_flight += 1
+
+    def _retransmit_selective(self) -> None:
+        """IRN-style selective repeat at WQE granularity.
+
+        Only operations with no acknowledged progress are re-emitted,
+        under the BDP-bounded window; a non-head WQE with responses
+        already landed keeps them (go-back-N would reset and replay it).
+        The head is always re-emitted — in-order response acceptance
+        means a stalled head blocks everything behind it, so its tail
+        is the one provably-lost range a timeout identifies.
+        """
+        window = self.qp.send_window()
+        in_flight = 0
+        for index, wqe in enumerate(self.wqes):
+            if wqe.resp_needed > 0 and in_flight >= window:
+                break  # BDP window exhausted
+            if index > 0 and wqe.transmitted and wqe.resp_received > 0:
+                # Progress since the last emit: its remaining responses
+                # are not provably lost, so selective repeat skips it.
+                in_flight += 1
+                continue
             if not self._emit_wqe(wqe, retransmission=wqe.transmitted):
                 break  # send-side fault stalled the queue mid-burst
             if wqe.resp_needed > 0:
@@ -519,6 +548,19 @@ class Requester:
         head = self.wqes[0]
         if head.resp_needed > 0 and not self._local_pages_ready(head):
             self._enter_odp_wait(head, from_send_side=False)
+            return
+        if head.resp_needed > head.resp_received \
+                and self.qp.mitigation is not None:
+            # A mitigation made the pages ready underneath the discard
+            # (dynamic-pin install, prewarmed view) without this QP ever
+            # registering a fault wait, so no freshness callback will
+            # fire and the discarded response is gone for good: re-pull
+            # now instead of waiting out the transport timer.  Unreachable
+            # without a strategy installed — baseline views only turn
+            # fresh through this QP's own wait registration.
+            self._retransmit_from_oldest()
+            self._ensure_timer(rearm=True)
+            self._ac_sync()
 
     def _enter_odp_wait(self, wqe: Wqe, from_send_side: bool) -> None:
         if self.state == STATE_NORMAL:
@@ -652,6 +694,13 @@ class Requester:
     def _sample_timeout(self) -> int:
         profile = self.qp.rnic.profile
         base = profile.detection_timeout_ns(self.qp.attrs.cack)
+        m = self.qp.mitigation
+        if m is not None and m.rto_low_ns:
+            # IRN: selective repeat makes a spurious retransmission
+            # cheap, so the conservative C_ACK detection timeout
+            # collapses to a short RTO_low — the lever that turns a
+            # hundreds-of-ms damming stall into a sub-ms hiccup.
+            base = min(base, m.rto_low_ns)
         base = round(base * self.qp.rnic.load_stretch())
         return self.sim.jitter(base, profile.timeout_jitter)
 

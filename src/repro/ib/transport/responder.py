@@ -336,7 +336,13 @@ class Responder:
 
     def _send_seq_nak(self) -> None:
         if self._seq_nak_outstanding:
-            return
+            m = self.qp.mitigation
+            if m is None or not m.eager_seq_nak:
+                return
+            # IRN-style eager loss feedback: NAK every out-of-sequence
+            # arrival instead of squelching behind one outstanding gap
+            # notification, so the selective requester learns about a
+            # hole as soon as any later packet lands.
         self._seq_nak_outstanding = True
         self.seq_naks_sent += 1
         self.qp.rnic.stats["seq_naks"] += 1

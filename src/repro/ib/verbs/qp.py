@@ -86,6 +86,9 @@ class QueuePair:
         #: fresh deterministic PSN (a reused PSN space would make the
         #: monitor's per-flow monotonicity check meaningless).
         self.incarnation = 0
+        #: countermeasure strategy for this QP (tenant-selectable):
+        #: snapshots the device default at creation; None = baseline.
+        self.mitigation = self.rnic.mitigation
         self.requester = Requester(self)
         self.responder = Responder(self)
         self.coalescer = StormCoalescer(self)
@@ -101,6 +104,19 @@ class QueuePair:
     def info(self) -> QpInfo:
         """Connection info to hand to the peer."""
         return QpInfo(self.rnic.lid, self.qpn, self.initial_psn)
+
+    def send_window(self) -> int:
+        """Effective initiator depth for READ/atomic requests.
+
+        ``max_rd_atomic``, optionally tightened to the mitigation
+        strategy's BDP-bounded window (IRN caps in-flight data at the
+        bandwidth-delay product instead of the verbs maximum).
+        """
+        window = self.attrs.max_rd_atomic
+        m = self.mitigation
+        if m is not None and m.bdp_packets:
+            return min(window, m.bdp_packets)
+        return window
 
     def connect(self, remote: QpInfo, attrs: Optional[QpAttrs] = None) -> None:
         """Transition INIT -> RTR -> RTS against ``remote``.

@@ -1,0 +1,14 @@
+"""Pluggable ODP-pitfall countermeasures and the what-if engine.
+
+``repro.mitigate.strategy`` holds the frozen strategy registry;
+``repro.mitigate.compare`` runs each strategy against the pitfall
+scenarios and scores it with the telemetry diagnosis engine (imported
+lazily — it depends on the benchmark layer, which imports this package
+for the registry).
+"""
+
+from repro.mitigate.strategy import (MitigationStrategy, STRATEGIES,
+                                     get_strategy, resolve_strategy)
+
+__all__ = ["MitigationStrategy", "STRATEGIES", "get_strategy",
+           "resolve_strategy"]

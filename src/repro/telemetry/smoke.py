@@ -69,6 +69,9 @@ def _surface(result) -> Dict[str, Any]:
     d.pop("config")
     d.pop("coalesced_rounds")
     d.pop("events_coalesced")
+    # execution-shape bookkeeping like the coalescer effort counters:
+    # which fast paths a strategy declined, not what the run did.
+    d.pop("mitigation_fallbacks", None)
     return d
 
 

@@ -179,3 +179,50 @@ class TestReconnect:
         a, b = run_recovery(config), run_recovery(config)
         assert (a.detect_ns, a.reconnect_ns, a.attempts, a.downtime_ns) \
             == (b.detect_ns, b.reconnect_ns, b.attempts, b.downtime_ns)
+
+
+class TestRnrExhaustionScenario:
+    """Regression: RNR Retry budget exhaustion must surface per QP as
+    ``IBV_WC_RNR_RETRY_EXC_ERR`` in the downtime report, not fold into
+    the generic transport-timeout accounting."""
+
+    def test_exhaustion_surfaced_per_qp(self):
+        result = run_recovery(RecoveryConfig(
+            seed=0, failure="rnr-exhaustion", rnr_retry=2))
+        assert result.error_status == "IBV_WC_RNR_RETRY_EXC_ERR"
+        exhausted = result.rnr_exhausted_qps()
+        assert len(exhausted) == 1
+        counts = result.error_breakdown[exhausted[0]]
+        assert counts["IBV_WC_RNR_RETRY_EXC_ERR"] == 1
+        assert counts["IBV_WC_WR_FLUSH_ERR"] == \
+            result.config.inflight_at_failure - 1
+        # the fabric never went down: the first reconnect probe lands
+        assert result.attempts == 1
+        assert result.ops_completed_after == result.config.ops_after
+        assert result.invariant_violations == 0
+        report = result.render()
+        assert "rnr budget exhausted" in report
+        assert "IBV_WC_RNR_RETRY_EXC_ERR" in report
+
+    def test_exhaustion_deterministic(self):
+        config = RecoveryConfig(seed=3, failure="rnr-exhaustion",
+                                rnr_retry=2)
+        a, b = run_recovery(config), run_recovery(config)
+        assert (a.error_status, a.detect_ns, a.downtime_ns,
+                a.error_breakdown) == \
+            (b.error_status, b.detect_ns, b.downtime_ns,
+             b.error_breakdown)
+
+    def test_link_flap_reports_no_rnr_exhaustion(self):
+        profile = replace(CONNECTX4, min_cack=10)
+        result = run_recovery(RecoveryConfig(
+            seed=2, profile=profile, cack=1, retry_count=1,
+            flap_start_ns=1 * MS, flap_len_ns=60 * MS,
+            base_backoff_ns=1 * MS))
+        assert result.rnr_exhausted_qps() == []
+        # the per-QP breakdown still attributes the retry-exhaustion
+        # error and the flushed batch to the victim QP
+        (counts,) = result.error_breakdown.values()
+        assert counts["IBV_WC_RETRY_EXC_ERR"] == 1
+        assert counts["IBV_WC_WR_FLUSH_ERR"] == \
+            result.config.inflight_at_failure - 1
