@@ -1,0 +1,160 @@
+"""Multi-tenant interference benchmark and its CI gate.
+
+Runs the noisy-neighbour tenant matrix — the canonical mix of a pinned
+KV victim, an ODP-explicit MPI-style victim, and an ODP-implicit
+flooding aggressor — three ways (victims solo, shared unmitigated,
+shared with per-tenant mitigation) and snapshots the per-tenant
+percentiles, the diagnosed episodes, the cross-tenant stall
+attribution, and the run fingerprints into ``BENCH_tenants.json``.
+
+``--check BASELINE`` turns the snapshot into a regression gate:
+
+* the unmitigated shared run must still exhibit aggressor-owned
+  damming/flood episodes (``telemetry.diagnose``) — the interference
+  *exists*;
+* the per-tenant strategy must contain it (episodes absent or their
+  stall cut >= 2x) — the interference is *fixable per tenant*;
+* back-to-back runs of the same seed must be bit-identical
+  (fingerprints equal) — the matrix is *reproducible*;
+* a two-cell fleet of the mix must be bit-identical at shards=1 and
+  shards=2 with equal merged counters — scaling out *changes nothing*;
+* the measured fingerprints must equal the committed baseline's when
+  the modes match — the committed exhibit is *still the exhibit*.
+
+Run ``python -m repro.bench.tenantbench`` from the repo root, or
+``python -m repro tenants`` for the human-readable matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.service.interference import run_tenant_matrix
+
+
+def run_bench(smoke: bool, seed: int = 0) -> Dict[str, Any]:
+    """The matrix plus the identity probes."""
+    report = run_tenant_matrix(seed=seed, fast=smoke)
+    repeat = run_tenant_matrix(seed=seed, fast=smoke)
+    fleet1 = run_tenant_matrix(seed=seed, fast=True, copies=2, shards=1)
+    fleet2 = run_tenant_matrix(seed=seed, fast=True, copies=2, shards=2)
+    return {
+        "seed": seed,
+        "matrix": report.as_dict(),
+        "repeat_identical": {
+            run: report.runs[run].fingerprint == repeat.runs[run].fingerprint
+            for run in report.runs},
+        "fleet": {
+            "copies": 2,
+            "contained": fleet1.contained(),
+            "aggressor_stall_ms": {
+                run: fleet1.aggressor_stall_ns(run) / 1e6
+                for run in fleet1.runs},
+            "fingerprints": {run: fleet1.runs[run].fingerprint
+                             for run in fleet1.runs},
+            "shard_identical": {
+                run: (fleet1.runs[run].fingerprint
+                      == fleet2.runs[run].fingerprint
+                      and fleet1.runs[run].counters
+                      == fleet2.runs[run].counters)
+                for run in fleet1.runs},
+        },
+    }
+
+
+def check_report(report: Dict[str, Any], committed_path: str) -> List[str]:
+    """The CI gate over a freshly measured report."""
+    with open(committed_path) as fh:
+        committed = json.load(fh)
+    failures: List[str] = []
+    work = report["workloads"]
+    matrix = work["matrix"]
+
+    none_run = matrix["runs"].get("none", {})
+    episodes = (none_run.get("damming_episodes", 0)
+                + none_run.get("flood_episodes", 0))
+    if episodes < 1:
+        failures.append("unmitigated shared run has no diagnosed "
+                        "episodes (the interference exhibit regressed)")
+    if matrix["aggressor_stall_ms"].get("none", 0.0) <= 0.0:
+        failures.append("no aggressor-owned episode stall under "
+                        "mitigation=none")
+    if not none_run.get("attribution_ms"):
+        failures.append("no cross-tenant stall attribution under "
+                        "mitigation=none")
+    if not matrix["contained"]:
+        failures.append("per-tenant mitigation does not contain the "
+                        "aggressor (episode stall not cut >= 2x)")
+    for victim, factor in sorted(matrix["degradation_p99"].items()):
+        if factor <= 1.0:
+            failures.append(f"{victim}: no p99 degradation from sharing "
+                            f"({factor:.2f}x)")
+    for run, identical in sorted(work["repeat_identical"].items()):
+        if not identical:
+            failures.append(f"{run}: back-to-back runs are not "
+                            "bit-identical")
+    fleet = work["fleet"]
+    if not fleet["contained"]:
+        failures.append("fleet-scale matrix not contained")
+    for run, identical in sorted(fleet["shard_identical"].items()):
+        if not identical:
+            failures.append(f"fleet {run}: shards=1 vs shards=2 differ "
+                            "(fingerprint or merged counters)")
+    if committed.get("mode") == report["mode"] \
+            and committed.get("workloads", {}).get("seed") == work["seed"]:
+        committed_fps = {
+            run: info["fingerprint"]
+            for run, info in committed["workloads"]["matrix"]["runs"].items()}
+        measured_fps = {run: info["fingerprint"]
+                        for run, info in matrix["runs"].items()}
+        if committed_fps != measured_fps:
+            drifted = sorted(run for run in measured_fps
+                             if committed_fps.get(run)
+                             != measured_fps[run])
+            failures.append("run fingerprints drifted from the committed "
+                            f"baseline: {', '.join(drifted)}")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tenantbench",
+        description="Run the multi-tenant interference matrix and "
+                    "write BENCH_tenants.json.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast matrix shapes (CI)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_tenants.json",
+                        help="output path (default: ./BENCH_tenants.json)")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="gate: exit 1 unless the interference is "
+                             "exhibited, contained, bit-identical "
+                             "across repeats and shard counts, and "
+                             "matches the committed fingerprints")
+    args = parser.parse_args(argv)
+
+    report = {
+        "bench": "repro.bench.tenantbench",
+        "mode": "smoke" if args.smoke else "full",
+        "python": sys.version.split()[0],
+        "workloads": run_bench(args.smoke, seed=args.seed),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    if args.check is not None:
+        failures = check_report(report, args.check)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("check passed: no regression against", args.check)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -33,7 +33,8 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
-from repro.chaos.plan import PACKET_KINDS, ChaosPlan, FaultKind, FaultWindow
+from repro.chaos.plan import (PACKET_KINDS, ChaosPlan, FaultKind,
+                              FaultWindow, TenantScope)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.host.cluster import Cluster
@@ -89,7 +90,28 @@ class ChaosEngine:
             self.sim.at(max(now, window.end), self._close, window)
         return self
 
+    def _tenant_scope(self, window: FaultWindow) -> Optional[TenantScope]:
+        """Resolve a window's tenant label against the cluster's
+        registered scopes (the service tier registers them before the
+        engine installs)."""
+        if window.tenant is None:
+            return None
+        scopes = getattr(self.cluster, "tenant_scopes", None) or {}
+        try:
+            return scopes[window.tenant]
+        except KeyError:
+            known = ", ".join(sorted(scopes)) or "(none registered; "  \
+                "tenant-scoped plans need a service-tier cell)"
+            raise KeyError(f"chaos window targets unknown tenant "
+                           f"{window.tenant!r}; known: {known}") from None
+
     def _scope_lids(self, window: FaultWindow) -> Tuple[int, ...]:
+        scope = self._tenant_scope(window)
+        if scope is not None:
+            if window.lids is not None:
+                return tuple(lid for lid in scope.lids
+                             if lid in window.lids)
+            return scope.lids
         if window.lids is not None:
             return window.lids
         return tuple(self.network.lids())
@@ -184,6 +206,15 @@ class ChaosEngine:
             if lids is not None and src_lid not in lids \
                     and packet.dst_lid not in lids:
                 continue
+            if window.tenant is not None:
+                # Tenant windows touch only the tenant's own QPs, on
+                # either end of the packet.
+                scope = self._tenant_scope(window)
+                if not (scope.covers_qp(src_lid,
+                                        getattr(packet, "src_qpn", -1))
+                        or scope.covers_qp(packet.dst_lid,
+                                           getattr(packet, "dst_qpn", -1))):
+                    continue
             p = window.probability
             kind = window.kind
             if kind is FaultKind.DROP:
@@ -221,6 +252,8 @@ class ChaosEngine:
         """
         for window in self._active:
             lids = window.lids
+            if lids is None and window.tenant is not None:
+                lids = self._tenant_scope(window).lids
             if lids is None or src_lid in lids or dst_lid in lids:
                 return True
         return False
@@ -239,6 +272,7 @@ class ChaosEngine:
     def _evict_tick(self, window: FaultWindow) -> None:
         if window not in self._active:
             return  # window closed while the tick was in flight
+        scope = self._tenant_scope(window)
         for lid in self._scope_lids(window):
             node = self._nodes.get(lid)
             if node is None:
@@ -247,6 +281,9 @@ class ChaosEngine:
             candidates = sorted(
                 page for page, info in vm._pages.items()  # noqa: SLF001
                 if info.pinned == 0)
+            if scope is not None:
+                owned = scope.pages.get(lid, frozenset())
+                candidates = [page for page in candidates if page in owned]
             if candidates:
                 picks = self.rng.sample(
                     candidates, min(window.pages, len(candidates)))

@@ -12,8 +12,8 @@ experiences (the reproducibility contract the chaos tests enforce).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.sim.timebase import MS, US
 
@@ -63,13 +63,39 @@ _SCOPED_KINDS = frozenset({
 
 
 @dataclass(frozen=True)
+class TenantScope:
+    """One tenant's resource footprint, as the chaos engine needs it.
+
+    The service tier registers these on the cluster
+    (``cluster.tenant_scopes``) after binding a tenant's resources:
+    which LIDs its QPs touch, which ``(lid, qpn)`` pairs belong to it,
+    and which VM pages (per LID) back its buffers.  A
+    :class:`FaultWindow` carrying ``tenant=`` resolves through this
+    scope, so a chaos plan can target one tenant's QPs and pages
+    without knowing LID or QPN numbering.
+    """
+
+    name: str
+    lids: Tuple[int, ...]
+    qpns: FrozenSet[Tuple[int, int]]            # (lid, qpn)
+    pages: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+
+    def covers_qp(self, lid: int, qpn: int) -> bool:
+        return (lid, qpn) in self.qpns
+
+
+@dataclass(frozen=True)
 class FaultWindow:
     """One fault, active on ``[start, end)`` of the simulated clock.
 
     ``lids=None`` scopes packet faults to all traffic and is rejected
-    for the kinds in ``_SCOPED_KINDS``.  ``probability`` gates packet
-    faults per packet; deterministic windows (``probability=1``) make
-    no RNG draws at all.
+    for the kinds in ``_SCOPED_KINDS``.  ``tenant`` names a registered
+    :class:`TenantScope` instead: the engine resolves it to the
+    tenant's LIDs at install time and additionally narrows packet
+    faults to the tenant's own ``(lid, qpn)`` pairs and eviction storms
+    to the tenant's own pages.  ``probability`` gates packet faults per
+    packet; deterministic windows (``probability=1``) make no RNG draws
+    at all.
     """
 
     start: int
@@ -82,6 +108,8 @@ class FaultWindow:
     #: EVICTION_STORM: pages evicted per tick / tick period.
     pages: int = 1
     period_ns: int = 0
+    #: scope the fault to one tenant's footprint (service-tier runs).
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.start < 0 or self.end <= self.start:
@@ -91,8 +119,9 @@ class FaultWindow:
         if self.kind in (FaultKind.REORDER, FaultKind.LATENCY) \
                 and self.magnitude_ns <= 0:
             raise ValueError(f"{self.kind.value} needs magnitude_ns > 0")
-        if self.kind in _SCOPED_KINDS and not self.lids:
-            raise ValueError(f"{self.kind.value} needs an explicit LID scope")
+        if self.kind in _SCOPED_KINDS and not self.lids and not self.tenant:
+            raise ValueError(f"{self.kind.value} needs an explicit LID "
+                             "or tenant scope")
         if self.kind is FaultKind.EVICTION_STORM:
             if self.period_ns <= 0:
                 raise ValueError("eviction_storm needs period_ns > 0")
@@ -111,6 +140,8 @@ class FaultWindow:
     def describe(self) -> str:
         scope = "all" if self.lids is None else ",".join(map(str, self.lids))
         extra = ""
+        if self.tenant is not None:
+            extra += f" tenant={self.tenant}"
         if self.probability != 1.0:
             extra += f" p={self.probability}"
         if self.magnitude_ns:

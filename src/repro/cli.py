@@ -170,6 +170,23 @@ def _trace(fast: bool, seed: int, jobs=None) -> str:
             + tel.diagnose().render())
 
 
+def _tenants(fast: bool, seed: int, jobs=None, opts=None) -> str:
+    """The multi-tenant interference matrix: the noisy-neighbour mix
+    run solo / unmitigated / mitigated, rendered plus machine-readable
+    JSON.  ``--groups N`` replicates the mix into N shared-RNIC cells
+    routed through run_fleet; ``--shards S`` splits the fleet across
+    worker processes (bit-identical at any shard count)."""
+    import json as _json
+
+    from repro.service.interference import run_tenant_matrix
+    copies = getattr(opts, "groups", None) or 1
+    shards = getattr(opts, "shards", None)
+    report = run_tenant_matrix(seed=seed, fast=fast, copies=copies,
+                               shards=shards)
+    return (report.render() + "\n\n"
+            + _json.dumps(report.as_dict(), indent=2))
+
+
 def _mitigate(fast: bool, seed: int, jobs=None) -> str:
     """Score every registered ODP-pitfall countermeasure strategy
     against the damming/flood scenarios, with and without the fixed
@@ -199,6 +216,7 @@ BENCHES: Dict[str, str] = {
     "scalebench": "BENCH_scale.json",
     "tab13bench": "BENCH_tab13.json",
     "mitigatebench": "BENCH_mitigation.json",
+    "tenantbench": "BENCH_tenants.json",
 }
 
 
@@ -208,9 +226,12 @@ def _bench_check_all(output_dir: str) -> int:
     Fresh reports land in ``output_dir`` (kept, so CI can archive them);
     each is checked against the committed baseline named in
     :data:`BENCHES`.  Returns 1 when any bench regresses, breaks
-    bit-identity, or has no committed baseline to check against.
+    bit-identity, crashes, or has no committed baseline to check
+    against — and always runs *every* bench first, so one failure
+    cannot hide another's verdict.
     """
     import importlib
+    import traceback
 
     os.makedirs(output_dir, exist_ok=True)
     failed: List[str] = []
@@ -222,10 +243,16 @@ def _bench_check_all(output_dir: str) -> int:
                   f"{name})", file=sys.stderr)
             failed.append(name)
             continue
-        module = importlib.import_module(f"repro.bench.{name}")
         fresh = os.path.join(output_dir, baseline)
-        code = module.main(["--smoke", "--output", fresh,
-                            "--check", baseline])
+        try:
+            module = importlib.import_module(f"repro.bench.{name}")
+            code = module.main(["--smoke", "--output", fresh,
+                                "--check", baseline])
+        except Exception:
+            traceback.print_exc()
+            print(f"CHECK FAILED: {name} crashed", file=sys.stderr)
+            failed.append(name)
+            continue
         if code != 0:
             failed.append(name)
     if failed:
@@ -253,6 +280,7 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "tab13": _tab13,
     "chaos": _chaos,
     "mitigate": _mitigate,
+    "tenants": _tenants,
     "recovery": _recovery,
     "telemetry": _telemetry,
     "counters": _counters,

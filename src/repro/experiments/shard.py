@@ -120,6 +120,7 @@ _WORKLOADS: Dict[str, FleetWorkload] = {}
 #: process resolving a shard of either kind imports only what it runs.
 _WORKLOAD_MODULES = {
     "spark": "repro.apps.spark.fleet",
+    "tenants": "repro.service.fleet",
 }
 
 
@@ -358,16 +359,28 @@ class GroupResult:
 
 
 def _relabel_scope(scope: str, lid_map: Dict[int, int]) -> str:
-    """Map a group-local counter scope (``rnic1``, ``rnic2.qp64``) to
-    fleet-global LIDs; non-RNIC scopes (``fabric``) pass through."""
+    """Map a group-local counter scope (``rnic1``, ``rnic2.qp64``,
+    ``tenant.kv-a.rnic1.qp64``) to fleet-global LIDs; non-RNIC scopes
+    (``fabric``) pass through.
+
+    Tenant-namespaced scopes embed the RNIC segment after the dot-free
+    tenant name (the grammar :mod:`repro.service.tenant` enforces), so
+    splitting on the last ``.rnic`` is unambiguous.
+    """
+    prefix = ""
+    if scope.startswith("tenant."):
+        head, sep, tail = scope.rpartition(".rnic")
+        if not sep:
+            return scope
+        prefix, scope = head + ".", "rnic" + tail
     if not scope.startswith("rnic"):
-        return scope
+        return prefix + scope
     head, dot, tail = scope.partition(".")
     try:
         local = int(head[len("rnic"):])
     except ValueError:
-        return scope
-    return f"rnic{lid_map[local]}{dot}{tail}"
+        return prefix + scope
+    return f"{prefix}rnic{lid_map[local]}{dot}{tail}"
 
 
 def _run_group(spec: GroupSpec, base_config, collect: FrozenSet[str],

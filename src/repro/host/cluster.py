@@ -57,6 +57,18 @@ class ReconnectError(RuntimeError):
     """The fabric never became reachable within ``max_attempts``."""
 
 
+def reset_verb_numbering() -> None:
+    """Restart every process-global verb allocation counter."""
+    # Imported lazily: verbs modules reach back into repro.host for
+    # Region, so importing them at cluster-module load would cycle.
+    from repro.ib.verbs.context import reset_cq_numbering
+    from repro.ib.verbs.mr import reset_mr_numbering
+    from repro.ib.verbs.pd import reset_pd_numbering
+    reset_mr_numbering()
+    reset_pd_numbering()
+    reset_cq_numbering()
+
+
 class Cluster:
     """A switch-connected set of nodes sharing one device model."""
 
@@ -74,11 +86,18 @@ class Cluster:
                  seed: int = 0):
         # Every experiment builds a fresh cluster, so restarting the
         # packet serial numbering here makes traces from back-to-back
-        # runs in one process byte-for-byte comparable.
+        # runs in one process byte-for-byte comparable.  Verb object
+        # numbering (MR/PD handles, keys, CQ numbers) is process-global
+        # for the same reason and restarts with it — traced MR handles
+        # otherwise depend on how many runs preceded this one.
         reset_packet_serials()
+        reset_verb_numbering()
         self.sim = sim if sim is not None else Simulator(seed=seed)
         self.profile = profile if profile is not None else get_device(device)
         self.network = Network(self.sim, rate=self.profile.rate)
+        #: tenant name -> repro.chaos.plan.TenantScope, registered by
+        #: the service tier so chaos plans can target one tenant.
+        self.tenant_scopes: dict = {}
         self.nodes: List[Node] = []
         for index in range(nodes):
             self.add_node(f"node{index}")

@@ -95,8 +95,13 @@ class OdpCoordinator:
         return self.rnic.translation.range_mapped(mr, addr, size)
 
     def responder_raise_faults(self, mr: "MemoryRegion", addr: int, size: int) -> None:
-        """Raise (coalesced) faults for the unmapped pages of the range."""
-        m = self.rnic.mitigation
+        """Raise (coalesced) faults for the unmapped pages of the range.
+
+        The pin-feedback strategy resolves per MR when the service tier
+        labelled one (multi-tenant cells mix strategies on one RNIC);
+        unlabelled MRs keep the device-wide strategy.
+        """
+        m = getattr(mr, "mitigation", None) or self.rnic.mitigation
         for page in self.rnic.translation.missing_pages(mr, addr, size):
             self.server_faults += 1
             self.rnic.driver.request_fault(self.rnic, mr, page)
@@ -192,7 +197,11 @@ class OdpCoordinator:
             if slot is not None:
                 ac.col("stale")[slot] = True
         self.client_faults += 1
-        m = self.rnic.mitigation
+        # Per-QP resolution: multi-tenant cells install strategies on a
+        # tenant's QPs, not the device, so the fault-feedback signal
+        # must come from the faulting QP's own snapshot.
+        qp = self.rnic._qps.get(qpn)  # noqa: SLF001 - same-device lookup
+        m = getattr(qp, "mitigation", None) or self.rnic.mitigation
         if m is not None and m.pin_pages:
             # Fault feedback is the dynamic-pin speculation signal: the
             # faulting QP still pays this fault in full (driver + one

@@ -15,6 +15,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _cq_numbers = itertools.count(1)
 
 
+def reset_cq_numbering() -> None:
+    """Restart CQ number allocation (fresh-cluster determinism)."""
+    global _cq_numbers
+    _cq_numbers = itertools.count(1)
+
+
 class Context:
     """An opened device (``ibv_open_device``)."""
 

@@ -29,6 +29,19 @@ _mr_handles = itertools.count(1)
 _keys = itertools.count(0x1000)
 
 
+def reset_mr_numbering() -> None:
+    """Restart MR handle/key allocation (fresh-cluster determinism).
+
+    Handles and keys are process-global allocation counters, so traces
+    from back-to-back runs in one process drift unless each run starts
+    from the same numbering — same contract as
+    :func:`repro.ib.packets.reset_packet_serials`.
+    """
+    global _mr_handles, _keys
+    _mr_handles = itertools.count(1)
+    _keys = itertools.count(0x1000)
+
+
 class MemoryRegion:
     """A registered memory region (created via ``ProtectionDomain.reg_mr``)."""
 

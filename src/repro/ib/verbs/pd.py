@@ -17,6 +17,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _pd_handles = itertools.count(1)
 
 
+def reset_pd_numbering() -> None:
+    """Restart PD handle allocation (fresh-cluster determinism)."""
+    global _pd_handles
+    _pd_handles = itertools.count(1)
+
+
 class ProtectionDomain:
     """Groups MRs and QPs; access checks require matching PDs."""
 

@@ -1,0 +1,382 @@
+"""Cross-tenant interference: attribution, the matrix, its report.
+
+Attribution answers the operator's question directly: *which tenant's*
+pathology stalled *whose* operations.  ``telemetry.diagnose`` finds the
+damming/flood episodes; each episode is owned by the tenant whose QPs
+exhibit it (the dammed victim QP's owner, or the majority owner of the
+flooding QP set); every *other* tenant's logical operations that
+overlap the episode window accumulate the overlap as attributed stall
+time.  The result is a victim x aggressor matrix in nanoseconds.
+
+:func:`run_tenant_matrix` produces the headline artifact: the same
+tenant mix run three ways —
+
+* ``solo``   — the victims alone (no aggressor): the reference SLO;
+* ``none``   — everyone shares the RNIC, all mitigation forced off:
+  the blast radius;
+* ``mitigated`` — per-tenant strategies as specified (the aggressor
+  gets ``dynamic-pin``/``selective-retransmit``): the containment.
+
+demonstrating that an ODP-flooding tenant starves its pinned neighbour
+and that a per-tenant strategy restores the victim's p99.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.report import format_table
+from repro.service.tenant import ArrivalSpec, TenantRegistry, TenantSpec
+from repro.service.tier import (CellResult, ServiceCellConfig, TenantResult,
+                                _majority, run_cell)
+
+#: Aggressor/victim window list: (owner tenant, start_ns, end_ns).
+EpisodeWindow = Tuple[str, int, int]
+
+
+def episode_windows(cell: CellResult) -> List[EpisodeWindow]:
+    """Every diagnosed episode as an (owner, start, end) window."""
+    windows: List[EpisodeWindow] = []
+    for episode in cell.damming:
+        owner = cell.qp_owner.get((episode.lid, episode.victim_qpn))
+        if owner is not None:
+            windows.append((owner, episode.start_ns, episode.end_ns))
+    for episode in cell.flood:
+        owner = _majority([cell.qp_owner.get(victim)
+                           for victim in episode.victims])
+        if owner is not None:
+            windows.append((owner, episode.start_ns, episode.end_ns))
+    windows.sort(key=lambda w: (w[1], w[2], w[0]))
+    return windows
+
+
+def attribute_stalls(cell: CellResult) -> Dict[str, Dict[str, int]]:
+    """victim -> aggressor -> stalled ns (episode-overlap attribution).
+
+    An operation's in-flight interval is [scheduled arrival,
+    completion]; the part of it spent inside another tenant's episode
+    window is stall time attributed to that tenant.  Self-overlap (a
+    tenant inside its own episode) is excluded — the matrix measures
+    *cross*-tenant damage; the aggressor's self-inflicted stall shows
+    in its own latency row.
+    """
+    windows = episode_windows(cell)
+    matrix: Dict[str, Dict[str, int]] = {}
+    if not windows:
+        return matrix
+    for name, tenant in cell.tenants.items():
+        row: Dict[str, int] = {}
+        for arrival, done in tenant.intervals:
+            for owner, start, end in windows:
+                if owner == name:
+                    continue
+                overlap = min(done, end) - max(arrival, start)
+                if overlap > 0:
+                    row[owner] = row.get(owner, 0) + overlap
+        if row:
+            matrix[name] = dict(sorted(row.items()))
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# The canonical noisy-neighbour mix
+# ----------------------------------------------------------------------
+
+def noisy_neighbor_mix(fast: bool = False) -> Tuple[TenantSpec, ...]:
+    """The default matrix mix: a pinned KV victim, an ODP-explicit
+    MPI-style victim, and an ODP-implicit flooding aggressor whose
+    *per-tenant* strategy (used only in the mitigated run) is
+    dynamic-pin.
+
+    ``fast`` halves the victims' op counts but leaves the aggressor at
+    full shape: the flood needs its critical mass of small-message QPs
+    (~10 ops per page so every page wants view updates for ~all 24
+    QPs), and halving it quenches the storm entirely."""
+    scale = 2 if fast else 1
+    return (
+        # Victims arrive slowly enough that their op streams span the
+        # aggressor's flood window (~[18, 42] ms with the shape below).
+        TenantSpec(
+            name="kv-pinned", workload="kv", mr_mode="pinned",
+            mitigation="none",
+            arrival=ArrivalSpec(process="poisson", rate_per_s=4_000.0),
+            num_qps=4, num_ops=192 // scale, size=256, fanout=2),
+        TenantSpec(
+            name="mpi-odp", workload="collective", mr_mode="odp-explicit",
+            mitigation="none",
+            arrival=ArrivalSpec(process="bursty", rate_per_s=2_000.0),
+            num_qps=2, num_ops=96 // scale, size=512,
+            rendezvous_threshold=1024, large_size=4096,
+            large_fraction=0.25),
+        # The fig. 9 flood shape: small messages over many QPs means
+        # every page needs per-QP view updates for ~all of them, so the
+        # status engine backlogs and the blind-retransmit storm ignites.
+        TenantSpec(
+            name="flood-odp", workload="kv", mr_mode="odp-implicit",
+            mitigation="dynamic-pin",
+            arrival=ArrivalSpec(process="poisson", rate_per_s=400_000.0),
+            num_qps=24, num_ops=288, size=400, fanout=1),
+    )
+
+
+def is_aggressor(spec: TenantSpec) -> bool:
+    """Mix convention: the aggressor is the tenant with a per-tenant
+    strategy declared (it misbehaves unmitigated in the ``none`` run)."""
+    return spec.mitigation != "none"
+
+
+# ----------------------------------------------------------------------
+# The matrix
+# ----------------------------------------------------------------------
+
+@dataclass
+class MatrixReport:
+    """Three runs of one tenant mix plus the derived verdicts."""
+
+    mix: Tuple[TenantSpec, ...]
+    seed: int
+    runs: Dict[str, CellResult] = field(default_factory=dict)
+    #: shard plans per run (fleet mode only), for the CLI footer.
+    plans: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def aggressors(self) -> List[str]:
+        return [spec.name for spec in self.mix if is_aggressor(spec)]
+
+    @property
+    def victims(self) -> List[str]:
+        return [spec.name for spec in self.mix if not is_aggressor(spec)]
+
+    def victim_p99(self, run: str, victim: str) -> int:
+        tenant = self.runs[run].tenants.get(victim)
+        return tenant.p99_ns if tenant is not None else 0
+
+    def degradation(self, victim: str) -> float:
+        """Victim p99 under the unmitigated shared run over solo."""
+        solo = self.victim_p99("solo", victim)
+        none = self.victim_p99("none", victim)
+        return none / solo if solo > 0 else 0.0
+
+    def restoration(self, victim: str) -> float:
+        """Victim p99 under ``none`` over the mitigated run (>1: the
+        per-tenant strategy bought the victim's p99 back)."""
+        mitigated = self.victim_p99("mitigated", victim)
+        none = self.victim_p99("none", victim)
+        return none / mitigated if mitigated > 0 else 0.0
+
+    def aggressor_stall_ns(self, run: str) -> int:
+        """Diagnosed episode time owned by the aggressors in a run.
+
+        Scaled runs suffix tenant names (``flood-odp-c0001``); every
+        copy of an aggressor counts toward its base name's total.
+        """
+        cell = self.runs[run]
+        total = 0
+        for owner, start, end in episode_windows(cell):
+            if any(owner == name or owner.startswith(f"{name}-c")
+                   for name in self.aggressors):
+                total += end - start
+        return total
+
+    def contained(self) -> bool:
+        """The bench gate's containment verdict: aggressor episodes
+        absent under mitigation, or their stall cut >= 2x."""
+        before = self.aggressor_stall_ns("none")
+        after = self.aggressor_stall_ns("mitigated")
+        if before <= 0:
+            return False  # nothing to contain: the exhibit failed first
+        return after == 0 or before >= 2 * after
+
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict:
+        """JSON-ready report (percentiles in us, stalls in ms)."""
+        runs = {}
+        for run_name, cell in self.runs.items():
+            tenants = {}
+            for name, tenant in cell.tenants.items():
+                tenants[name] = {
+                    "workload": tenant.workload,
+                    "mr_mode": tenant.mr_mode,
+                    "mitigation": tenant.mitigation,
+                    "ops": tenant.ops,
+                    "errors": tenant.errors,
+                    "p50_us": tenant.p50_ns / 1e3,
+                    "p99_us": tenant.p99_ns / 1e3,
+                    "p999_us": tenant.p999_ns / 1e3,
+                    "throughput_ops_s": tenant.throughput_ops_s,
+                }
+            runs[run_name] = {
+                "tenants": tenants,
+                "damming_episodes": len(cell.damming),
+                "flood_episodes": len(cell.flood),
+                "attribution_ms": {
+                    victim: {aggr: ns / 1e6 for aggr, ns in row.items()}
+                    for victim, row in cell.attribution.items()},
+                "fingerprint": cell.fingerprint,
+                "total_packets": cell.total_packets,
+            }
+        return {
+            "seed": self.seed,
+            "tenants": [spec.name for spec in self.mix],
+            "aggressors": self.aggressors,
+            "victims": self.victims,
+            "runs": runs,
+            "degradation_p99": {v: self.degradation(v)
+                                for v in self.victims},
+            "restoration_p99": {v: self.restoration(v)
+                                for v in self.victims},
+            "aggressor_stall_ms": {
+                run: self.aggressor_stall_ns(run) / 1e6
+                for run in self.runs},
+            "contained": self.contained(),
+        }
+
+    def render(self) -> str:
+        out: List[str] = []
+        order = [name for name in ("solo", "none", "mitigated")
+                 if name in self.runs]
+        for run_name in order:
+            cell = self.runs[run_name]
+            rows = []
+            for name in [spec.name for spec in self.mix
+                         if spec.name in cell.tenants]:
+                tenant = cell.tenants[name]
+                active = tenant.mitigation if run_name == "mitigated" \
+                    else "none"
+                rows.append([
+                    name, tenant.workload, tenant.mr_mode, active,
+                    tenant.ops, tenant.errors,
+                    f"{tenant.p50_ns / 1e3:.1f}",
+                    f"{tenant.p99_ns / 1e3:.1f}",
+                    f"{tenant.p999_ns / 1e3:.1f}",
+                    f"{tenant.throughput_ops_s / 1e3:.1f}",
+                ])
+            title = {
+                "solo": "victims alone (reference SLO)",
+                "none": "shared RNIC, mitigation=none (blast radius)",
+                "mitigated": "shared RNIC, per-tenant mitigation",
+            }[run_name]
+            out.append(format_table(
+                ["tenant", "workload", "mr", "mitigation", "ops", "err",
+                 "p50[us]", "p99[us]", "p999[us]", "kop/s"],
+                rows, title=f"run '{run_name}': {title}"))
+            episodes = ([e.describe() for e in cell.damming]
+                        + [e.describe() for e in cell.flood])
+            out.extend(f"  {line}" for line in episodes)
+            for victim, row in sorted(cell.attribution.items()):
+                for aggressor, ns in row.items():
+                    out.append(f"  attribution: {victim} stalled "
+                               f"{ns / 1e6:.2f} ms inside {aggressor}'s "
+                               "episode window(s)")
+            out.append("")
+        for victim in self.victims:
+            out.append(
+                f"{victim}: p99 degraded {self.degradation(victim):.2f}x "
+                f"by sharing (solo -> none), restored "
+                f"{self.restoration(victim):.2f}x by per-tenant "
+                "mitigation (none -> mitigated)")
+        before = self.aggressor_stall_ns("none") / 1e6
+        after = self.aggressor_stall_ns("mitigated") / 1e6
+        verdict = "CONTAINED" if self.contained() else "NOT CONTAINED"
+        out.append(f"aggressor episode stall: {before:.2f} ms unmitigated "
+                   f"-> {after:.2f} ms mitigated [{verdict}]")
+        for run_name, plan in self.plans.items():
+            out.append(f"[{run_name}: {plan}]")
+        return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+
+
+def _run_mix(tenants: Tuple[TenantSpec, ...], seed: int,
+             num_groups: int, shards: Optional[int],
+             cell_size: int) -> Tuple[CellResult, str]:
+    """Run one tenant set — single cell, or a fleet of cells."""
+    if num_groups <= 1:
+        cell = run_cell(ServiceCellConfig(tenants=tenants, seed=seed))
+        return cell, ""
+    from repro.experiments.shard import run_fleet
+    from repro.service.fleet import TenantFleetConfig
+    fleet = run_fleet(
+        TenantFleetConfig(tenants=tenants, seed=seed,
+                          num_groups=num_groups, cell_size=cell_size),
+        shards=shards, collect=("counters", "fingerprint"))
+    return fleet.result, fleet.plan.describe()
+
+
+def scale_mix(mix: Tuple[TenantSpec, ...],
+              copies: int) -> Tuple[TenantSpec, ...]:
+    """Replicate a mix ``copies`` times with name-suffixed tenants —
+    the thousand-tenant configurations route through this."""
+    if copies <= 1:
+        return tuple(mix)
+    return tuple(replace(spec, name=f"{spec.name}-c{copy:04d}")
+                 for copy in range(copies) for spec in mix)
+
+
+def run_tenant_matrix(mix: Optional[Tuple[TenantSpec, ...]] = None,
+                      seed: int = 0, fast: bool = False,
+                      copies: int = 1,
+                      shards: Optional[int] = None,
+                      runs: Tuple[str, ...] = ("solo", "none", "mitigated"),
+                      ) -> MatrixReport:
+    """The headline deliverable: the interference matrix.
+
+    ``copies > 1`` replicates the mix into that many shared-RNIC cells
+    and routes the whole fleet through
+    :func:`repro.experiments.shard.run_fleet` (bit-identical for any
+    ``shards`` value).  Each copy is one cell — interference is an
+    intra-cell effect, so replication scales tenant count without
+    diluting the per-RNIC contention that produces it.
+    """
+    base = tuple(mix) if mix is not None else noisy_neighbor_mix(fast)
+    TenantRegistry(base)  # validates name uniqueness up front
+    report = MatrixReport(mix=base, seed=seed)
+    scaled = scale_mix(base, copies)
+    groups = copies if copies > 1 else 1
+    for run_name in runs:
+        if run_name == "solo":
+            tenants = tuple(dataclasses.replace(spec, mitigation="none")
+                            for spec in scaled if not is_aggressor(spec))
+        elif run_name == "none":
+            tenants = tuple(dataclasses.replace(spec, mitigation="none")
+                            for spec in scaled)
+        else:
+            tenants = scaled
+        cell, plan = _run_mix(tenants, seed, groups, shards,
+                              cell_size=_run_cell_size(base, run_name))
+        if copies > 1:
+            cell = _fold_copies(cell, base, run_name)
+        report.runs[run_name] = cell
+        if plan:
+            report.plans[run_name] = plan
+    return report
+
+
+def _run_cell_size(base: Tuple[TenantSpec, ...], run_name: str) -> int:
+    """Tenants per cell for a run: the solo run drops the aggressors."""
+    if run_name == "solo":
+        return len([spec for spec in base if not is_aggressor(spec)])
+    return len(base)
+
+
+def _fold_copies(cell: CellResult, base: Tuple[TenantSpec, ...],
+                 run_name: str) -> CellResult:
+    """Map copy-0's tenants back onto base names so degradation /
+    restoration verdicts read the same whatever the copy count (each
+    copy is a statistically identical cell; copy 0 is the reporter)."""
+    folded = dict(cell.tenants)
+    for spec in base:
+        copy0 = f"{spec.name}-c0000"
+        if copy0 in folded and spec.name not in folded:
+            tenant = folded[copy0]
+            folded[spec.name] = TenantResult(
+                name=spec.name, workload=tenant.workload,
+                mr_mode=tenant.mr_mode, mitigation=tenant.mitigation,
+                ops=tenant.ops, errors=tenant.errors,
+                intervals=list(tenant.intervals),
+                start_ns=tenant.start_ns, end_ns=tenant.end_ns)
+    return dataclasses.replace(cell, tenants=folded)

@@ -1,0 +1,223 @@
+"""Frozen, hashable tenant configuration models and their registry.
+
+A tenant is everything the service tier needs to know about one
+customer of a shared RNIC: a stable name, a private seed, which MR mode
+its buffers use (pinned / ODP-explicit / ODP-implicit), which
+countermeasure strategy its QPs install, how its requests arrive
+(Poisson / bursty MMPP / deterministic), and which workload shape they
+drive.  The models are frozen dataclasses validated at construction —
+an invalid tenant cannot exist, and a valid one is hashable, so specs
+double as dict keys and dedup tokens (the immutable-config-model
+pattern of proxy registries).
+
+Determinism: every tenant derives its private RNG stream from
+:func:`tenant_seed`, which mixes the cell seed with a CRC32 of the
+tenant *name* (``zlib.crc32`` — stable across processes, unlike the
+salted builtin ``hash``).  Two runs with the same registry and seed
+draw identical streams per tenant regardless of registration order,
+process count, or shard placement.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.ib.verbs.enums import OdpMode
+from repro.mitigate.strategy import get_strategy
+
+#: MR registration modes a tenant may request.
+MR_MODES: Tuple[str, ...] = ("pinned", "odp-explicit", "odp-implicit")
+
+#: Arrival process families (see :mod:`repro.service.arrivals`).
+ARRIVAL_PROCESSES: Tuple[str, ...] = ("poisson", "bursty", "deterministic")
+
+#: Workload shapes (see :mod:`repro.service.workloads`).
+WORKLOADS: Tuple[str, ...] = ("kv", "collective", "shuffle")
+
+#: Tenant names must be dot-free: counter scopes embed them as
+#: ``tenant.<name>.rnicN.qpM`` and the shard relabeller splits on the
+#: ``.rnic`` boundary.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_-]*$")
+
+#: Per-tenant seed mix constant (a large prime, matching the repo's
+#: per-cell seed-mixing idiom, far above any realistic tenant count).
+TENANT_SEED_STRIDE = 7_368_787
+
+
+def tenant_seed(cell_seed: int, name: str) -> int:
+    """The private RNG seed of tenant ``name`` in a cell.
+
+    ``crc32`` of the name keeps the mix independent of registration
+    order and stable across processes (builtin ``hash`` is salted per
+    process, which would break shard bit-identity).
+    """
+    return cell_seed * TENANT_SEED_STRIDE + zlib.crc32(name.encode())
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One tenant's open-loop arrival process.
+
+    ``rate_per_s`` is the long-run mean arrival rate in operations per
+    second.  ``bursty`` is a two-state MMPP: bursts arrive at
+    ``burst_factor`` times the mean rate for a fraction
+    ``burst_fraction`` of the time, with the off-state rate derived so
+    the long-run mean stays ``rate_per_s`` (requires
+    ``burst_factor * burst_fraction < 1``).  ``burst_ops`` sets the
+    mean number of arrivals per burst dwell.
+    """
+
+    process: str = "poisson"
+    rate_per_s: float = 50_000.0
+    burst_factor: float = 3.0
+    burst_fraction: float = 0.25
+    burst_ops: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ValueError(f"unknown arrival process {self.process!r}; "
+                             f"choices: {', '.join(ARRIVAL_PROCESSES)}")
+        if self.rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {self.rate_per_s}")
+        if self.process == "bursty":
+            if self.burst_factor <= 1.0:
+                raise ValueError("bursty needs burst_factor > 1")
+            if not 0.0 < self.burst_fraction < 1.0:
+                raise ValueError("burst_fraction must be in (0, 1)")
+            if self.burst_factor * self.burst_fraction >= 1.0:
+                raise ValueError(
+                    "burst_factor * burst_fraction must be < 1 so the "
+                    "off-state rate stays positive (long-run mean = "
+                    "rate_per_s)")
+            if self.burst_ops < 1:
+                raise ValueError("burst_ops must be >= 1")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Everything the service tier knows about one tenant."""
+
+    name: str
+    workload: str = "kv"
+    mr_mode: str = "pinned"
+    #: countermeasure strategy installed on this tenant's QPs (registry
+    #: name; ``"none"`` resolves to no strategy object at all).
+    mitigation: str = "none"
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    num_qps: int = 4
+    num_ops: int = 128
+    #: base message/value size in bytes.
+    size: int = 256
+    #: replica fan-out per KV GET (primitive READs per logical op).
+    fanout: int = 1
+    #: collective: eager/rendezvous crossover threshold (bytes).
+    rendezvous_threshold: int = 1024
+    #: collective: fraction of messages drawn at ``large_size``.
+    large_fraction: float = 0.25
+    large_size: int = 4096
+    #: shuffle: one parameter-push WRITE per this many fetches.
+    push_every: int = 4
+    #: extra per-tenant seed salt (0: the name alone differentiates).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValueError(
+                f"invalid tenant name {self.name!r}: need "
+                "[A-Za-z0-9][A-Za-z0-9_-]* (dots would break the "
+                "tenant.<name>.rnicN counter-scope grammar)")
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {self.workload!r}; "
+                             f"choices: {', '.join(WORKLOADS)}")
+        if self.mr_mode not in MR_MODES:
+            raise ValueError(f"unknown mr_mode {self.mr_mode!r}; "
+                             f"choices: {', '.join(MR_MODES)}")
+        get_strategy(self.mitigation)  # raises on a typo, with choices
+        if self.num_qps < 1:
+            raise ValueError("num_qps must be >= 1")
+        if self.num_ops < 1:
+            raise ValueError("num_ops must be >= 1")
+        if self.size < 1:
+            raise ValueError("size must be >= 1")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        if self.rendezvous_threshold < 1:
+            raise ValueError("rendezvous_threshold must be >= 1")
+        if not 0.0 <= self.large_fraction <= 1.0:
+            raise ValueError("large_fraction must be in [0, 1]")
+        if self.large_size < 1:
+            raise ValueError("large_size must be >= 1")
+        if self.push_every < 1:
+            raise ValueError("push_every must be >= 1")
+
+    @property
+    def odp_mode(self) -> OdpMode:
+        """The verbs registration mode of this tenant's buffers."""
+        return {"pinned": OdpMode.PINNED,
+                "odp-explicit": OdpMode.EXPLICIT,
+                "odp-implicit": OdpMode.IMPLICIT}[self.mr_mode]
+
+    @property
+    def max_message(self) -> int:
+        """Largest primitive transfer this tenant posts."""
+        if self.workload == "collective":
+            return max(self.size, self.large_size)
+        return self.size
+
+    def stream_seed(self, cell_seed: int) -> int:
+        """This tenant's private RNG seed within a cell."""
+        return tenant_seed(cell_seed + self.seed, self.name)
+
+
+class TenantRegistry:
+    """An ordered, name-unique collection of tenant specs.
+
+    Registration order is the canonical order — it fixes QP creation
+    order inside a cell and hence the cell's event timeline, so two
+    registries with the same specs in the same order are behaviourally
+    identical (and :meth:`specs` is the hashable identity token).
+    """
+
+    def __init__(self, specs: Optional[Tuple[TenantSpec, ...]] = None):
+        self._specs: Dict[str, TenantSpec] = {}
+        for spec in specs or ():
+            self.add(spec)
+
+    def add(self, spec: TenantSpec) -> TenantSpec:
+        """Register one tenant; duplicate names are an error."""
+        if spec.name in self._specs:
+            raise ValueError(f"duplicate tenant name {spec.name!r}")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> TenantSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(f"unknown tenant {name!r}; registered: "
+                           f"{', '.join(self._specs) or '(none)'}") from None
+
+    def specs(self) -> Tuple[TenantSpec, ...]:
+        """The registry's hashable identity: specs in canonical order."""
+        return tuple(self._specs.values())
+
+    def names(self) -> List[str]:
+        return list(self._specs)
+
+    def replace_all(self, **changes) -> "TenantRegistry":
+        """A new registry with every spec field-replaced (e.g. force
+        ``mitigation="none"`` for an unmitigated baseline run)."""
+        return TenantRegistry(tuple(replace(spec, **changes)
+                                    for spec in self.specs()))
+
+    def __iter__(self) -> Iterator[TenantSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs

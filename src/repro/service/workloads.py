@@ -1,0 +1,151 @@
+"""Service workload shapes: per-arrival operation plans.
+
+A workload is declarative here: :func:`plan_ops` expands a tenant spec
+into one *operation plan* per arrival — a list of primitive verbs
+``(kind, size, client_off, server_off)`` whose completions jointly
+define the logical operation's latency.  The
+:class:`~repro.service.tier.ServiceCell` executes plans; keeping them
+as pure data makes the traffic of a tenant a function of
+``(spec, buffer sizes, rng)`` alone — the property every shard-identity
+test leans on.
+
+Three shapes:
+
+* ``kv`` — a READ-mostly KV/object store: each GET issues ``fanout``
+  replica READs of ``size`` bytes from random server slots (quorum-read
+  style); the logical GET completes when the last replica READ does.
+* ``collective`` — MPI-RMA-style messaging with the classic
+  eager/rendezvous protocol crossover: messages up to
+  ``rendezvous_threshold`` go as one eager RDMA WRITE; larger ones pay
+  a small control WRITE (the RTS/CTS handshake) followed by the bulk
+  transfer as an RDMA READ by the receiver — the MPICH2-over-IB
+  get-protocol shape.
+* ``shuffle`` — a parameter-server/shuffle mix: every arrival fetches
+  one partition (READ); every ``push_every``-th arrival additionally
+  pushes a parameter update (WRITE) — the spark-engine round shape
+  reduced to its RDMA verbs.
+
+Client-side offsets advance through the tenant's buffer with a
+sequential cursor (wrapping at the buffer size): each new primitive
+lands on fresh bytes, so an ODP tenant's traffic keeps first-touching
+new pages — the access pattern that feeds the per-QP status-view
+machinery and, at enough QPs, the flood.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.host.memory import PAGE_SIZE
+from repro.service.tenant import TenantSpec
+
+#: One primitive verb of a plan: (kind, size, client_off, server_off).
+#: ``kind`` is "read" (server -> client) or "write" (client -> server).
+Primitive = Tuple[str, int, int, int]
+
+#: One logical operation: the primitives whose joint completion is the
+#: operation's latency.
+OpPlan = List[Primitive]
+
+#: Rendezvous control message (RTS/CTS) size in bytes.
+CONTROL_BYTES = 32
+
+#: Client-buffer cap: the cursor wraps beyond this, re-touching warm
+#: pages instead of growing the address space without bound.
+_CLIENT_BYTES_CAP = 8 << 20
+
+#: Server-buffer cap (shared-store model: tenants read hot ranges).
+_SERVER_BYTES_CAP = 2 << 20
+
+
+def client_bytes(spec: TenantSpec) -> int:
+    """The tenant's client-side buffer size: big enough that every
+    primitive lands on fresh bytes (the first-touch pattern), capped."""
+    per_op = spec.max_message * _primitives_per_op(spec) + CONTROL_BYTES
+    want = per_op * spec.num_ops
+    return max(PAGE_SIZE, min(want, _CLIENT_BYTES_CAP))
+
+
+def server_bytes(spec: TenantSpec) -> int:
+    """The tenant's server-side buffer (object store / window) size."""
+    want = spec.max_message * max(spec.num_ops, spec.fanout)
+    return max(PAGE_SIZE, min(want, _SERVER_BYTES_CAP))
+
+
+def _primitives_per_op(spec: TenantSpec) -> int:
+    if spec.workload == "kv":
+        return spec.fanout
+    if spec.workload == "collective":
+        return 2  # worst case: control + bulk
+    return 2      # shuffle worst case: fetch + push
+
+
+class _Cursor:
+    """Sequential client-offset allocator, wrapping at the buffer end."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.at = 0
+
+    def take(self, size: int) -> int:
+        if self.at + size > self.limit:
+            self.at = 0
+        offset = self.at
+        self.at += size
+        return offset
+
+
+def plan_ops(spec: TenantSpec, client_limit: int, server_limit: int,
+             rng: random.Random) -> List[OpPlan]:
+    """Expand a tenant spec into one plan per arrival.
+
+    Server offsets are drawn from ``rng`` (slot-aligned so concurrent
+    tenants model disjoint object reads within their own windows);
+    client offsets come from the sequential first-touch cursor.
+    """
+    cursor = _Cursor(client_limit)
+    plans: List[OpPlan] = []
+    if spec.workload == "kv":
+        slots = max(1, server_limit // spec.size)
+        for _ in range(spec.num_ops):
+            plan: OpPlan = []
+            for _replica in range(spec.fanout):
+                server_off = rng.randrange(slots) * spec.size
+                server_off = min(server_off, server_limit - spec.size)
+                plan.append(("read", spec.size, cursor.take(spec.size),
+                             server_off))
+            plans.append(plan)
+        return plans
+    if spec.workload == "collective":
+        for _ in range(spec.num_ops):
+            big = rng.random() < spec.large_fraction
+            msg = spec.large_size if big else spec.size
+            msg = min(msg, server_limit)
+            window = max(1, server_limit - msg + 1)
+            server_off = rng.randrange(window)
+            if msg <= spec.rendezvous_threshold:
+                # Eager: payload rides the first message.
+                plans.append([("write", msg, cursor.take(msg), server_off)])
+            else:
+                # Rendezvous: RTS control, then the receiver pulls the
+                # bulk with an RDMA READ (MPICH2's get protocol).
+                control_off = min(server_off, server_limit - CONTROL_BYTES)
+                plans.append([
+                    ("write", CONTROL_BYTES, cursor.take(CONTROL_BYTES),
+                     control_off),
+                    ("read", msg, cursor.take(msg), server_off),
+                ])
+        return plans
+    # shuffle: partition fetches with periodic parameter pushes.
+    slots = max(1, server_limit // spec.size)
+    for index in range(spec.num_ops):
+        plan = [("read", spec.size, cursor.take(spec.size),
+                 min(rng.randrange(slots) * spec.size,
+                     server_limit - spec.size))]
+        if (index + 1) % spec.push_every == 0:
+            plan.append(("write", spec.size, cursor.take(spec.size),
+                         min(rng.randrange(slots) * spec.size,
+                             server_limit - spec.size)))
+        plans.append(plan)
+    return plans

@@ -14,14 +14,26 @@ Scopes form a dotted hierarchy::
 
     rnic1                  per-RNIC rollups (client node of build_pair)
     rnic1.qp64             per-QP counters
+    tenant.kv-a.rnic1.qp64 per-QP counters of a tenant-labelled QP
     fabric                 switch + drop accounting
     chaos                  chaos-engine action tallies (when installed)
+
+QPs carrying a ``tenant`` label (set by the service tier at creation)
+harvest under ``tenant.<name>.`` instead of the bare RNIC scope, so one
+shared RNIC's counters split per tenant while the per-RNIC rollups stay
+whole-device.  Tenant names are dot-free by construction
+(:mod:`repro.service.tenant` rejects dots), which keeps the scope
+grammar unambiguous: the RNIC segment is everything from the last
+``.rnic`` on.
 
 Counter *names* prefixed ``exec.`` describe how the run was executed —
 storm-coalescer round tallies, ready-cache hit rates — not what it
 measured.  They legitimately differ between ``coalesce`` settings, so
 :meth:`CounterRegistry.identity_surface` excludes them; everything else
-must be bit-identical with coalescing on or off (tested).
+must be bit-identical with coalescing on or off (tested).  The
+exclusion rule is **by name prefix only** — a tenant-scoped
+``exec.coalesce.*`` counter is excluded exactly like a bare one; scopes
+(including ``tenant.*``) never affect identity membership.
 """
 
 from __future__ import annotations
@@ -31,6 +43,9 @@ from typing import Dict, Iterable, List, Optional, Tuple
 #: Name prefix for execution-strategy counters (excluded from the
 #: coalesce on/off identity surface).
 EXEC_PREFIX = "exec."
+
+#: Scope prefix for QPs carrying a tenant label (service-tier runs).
+TENANT_PREFIX = "tenant."
 
 
 class CounterRegistry:
@@ -99,6 +114,15 @@ class CounterRegistry:
 # Harvest
 # ----------------------------------------------------------------------
 
+def _collect_ud_qp(reg: CounterRegistry, scope: str, qp) -> None:
+    """UD QPs keep four fire-and-forget tallies and nothing else —
+    no requester/responder state machines to harvest."""
+    reg.add(scope, "ud.sends", qp.sends)
+    reg.add(scope, "ud.receives", qp.receives)
+    reg.add(scope, "ud.dropped_no_recv", qp.dropped_no_recv)
+    reg.add(scope, "ud.dropped_too_big", qp.dropped_too_big)
+
+
 def _collect_qp(reg: CounterRegistry, scope: str, qp) -> None:
     req, resp = qp.requester, qp.responder
     reg.add(scope, "local_ack_timeout_err", req.timeouts)
@@ -151,7 +175,15 @@ def _collect_rnic(reg: CounterRegistry, rnic, per_qp: bool) -> None:
     reg.add(scope, "odp.invalidations", driver.invalidations)
     if per_qp:
         for qpn in sorted(rnic._qps):  # noqa: SLF001 - harvest privilege
-            _collect_qp(reg, f"{scope}.qp{qpn}", rnic._qps[qpn])  # noqa: SLF001
+            qp = rnic._qps[qpn]  # noqa: SLF001
+            qp_scope = f"{scope}.qp{qpn}"
+            tenant = getattr(qp, "tenant", None)
+            if tenant is not None:
+                qp_scope = f"{TENANT_PREFIX}{tenant}.{qp_scope}"
+            if hasattr(qp, "requester"):
+                _collect_qp(reg, qp_scope, qp)
+            else:
+                _collect_ud_qp(reg, qp_scope, qp)
 
 
 def _collect_fabric(reg: CounterRegistry, network) -> None:

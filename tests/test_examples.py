@@ -1,0 +1,41 @@
+"""Examples smoke: every script under examples/ must run clean.
+
+The examples are executable documentation — each one carries its own
+assertions (the multi-tenant demo asserts containment and counter
+isolation, the pitfall hunt asserts detection, ...), so "exits zero"
+is a meaningful gate, not a syntax check.  Each script runs in its own
+interpreter from a scratch directory, exactly as a reader would run it
+(some write capture artifacts to the current directory).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO, "examples")
+EXAMPLES = sorted(name for name in os.listdir(EXAMPLES_DIR)
+                  if name.endswith(".py"))
+
+
+def test_examples_inventory():
+    """The parametrized set tracks the directory (new example scripts
+    are smoke-gated automatically; deleting one fails loudly)."""
+    assert "multi_tenant_demo.py" in EXAMPLES
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        cwd=tmp_path, env=env, capture_output=True, text=True,
+        timeout=300)
+    assert proc.returncode == 0, (
+        f"{script} exited {proc.returncode}\n"
+        f"stdout:\n{proc.stdout[-2000:]}\nstderr:\n{proc.stderr[-2000:]}")
+    assert proc.stdout.strip(), f"{script} printed nothing"

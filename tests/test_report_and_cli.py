@@ -75,7 +75,7 @@ class TestCli:
         expected = {"tables", "fig01", "fig02", "fig04", "fig05", "fig06",
                     "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
                     "tab13", "chaos", "recovery", "telemetry", "counters",
-                    "trace", "mitigate"}
+                    "trace", "mitigate", "tenants"}
         assert set(EXPERIMENTS) == expected
 
     def test_run_tables(self, capsys):

@@ -68,6 +68,70 @@ class TestUdTransport:
         assert qp_b.dropped_too_big == 1
 
 
+class TestUdDetails:
+    def test_recv_buffers_consumed_fifo(self):
+        cluster, sides = ud_pair()
+        (_, _, _, qp_a, _, _), (node_b, _, cq_b, qp_b, buf_b, mr_b) = sides
+        qp_b.post_recv(10, Sge(mr_b, buf_b.addr(0), 64))
+        qp_b.post_recv(11, Sge(mr_b, buf_b.addr(64), 64))
+        assert qp_b.recv_queue_depth == 2
+        qp_a.post_send(0, node_b.rnic.lid, qp_b.qpn, b"first")
+        qp_a.post_send(0, node_b.rnic.lid, qp_b.qpn, b"second")
+        cluster.sim.run_until_idle()
+        first, second = cq_b.poll(10)
+        assert (first.wr_id, second.wr_id) == (10, 11)
+        assert buf_b.read(0, 5) == b"first"
+        assert buf_b.read(64, 6) == b"second"
+        assert qp_b.recv_queue_depth == 0
+
+    def test_signaled_send_completes_locally(self):
+        cluster, sides = ud_pair()
+        (_, _, cq_a, qp_a, _, _), (node_b, _, _, qp_b, _, _) = sides
+        qp_a.post_send(7, node_b.rnic.lid, qp_b.qpn, b"bye", signaled=True)
+        # unsignaled sends produce no CQE at all
+        qp_a.post_send(8, node_b.rnic.lid, qp_b.qpn, b"quiet")
+        cluster.sim.run_until_idle()
+        wc, = cq_a.poll(10)
+        assert wc.wr_id == 7 and wc.ok and wc.byte_len == 3
+        assert qp_a.sends == 2
+
+    def test_non_send_opcode_is_ignored(self):
+        from repro.ib.opcodes import Opcode
+        from repro.ib.packets import Packet
+        cluster, sides = ud_pair()
+        (node_b, _, cq_b, qp_b, buf_b, mr_b) = sides[1]
+        qp_b.post_recv(1, Sge(mr_b, buf_b.addr(0), 64))
+        qp_b.handle_packet(Packet(
+            src_lid=1, dst_lid=node_b.rnic.lid, src_qpn=99,
+            dst_qpn=qp_b.qpn, opcode=Opcode.RDMA_READ_REQUEST, psn=0))
+        assert cq_b.poll(10) == []
+        assert qp_b.recv_queue_depth == 1  # buffer not consumed
+        assert qp_b.receives == 0
+
+    def test_send_refused_outside_rts(self):
+        from repro.ib.verbs.enums import QpState
+        cluster, sides = ud_pair()
+        (_, _, _, qp_a, _, _), (node_b, _, _, qp_b, _, _) = sides
+        qp_a.state = QpState.RESET
+        with pytest.raises(RuntimeError):
+            qp_a.post_send(0, node_b.rnic.lid, qp_b.qpn, b"nope")
+
+    def test_counters_tally_each_path(self):
+        cluster, sides = ud_pair()
+        (_, _, _, qp_a, _, _), (node_b, _, _, qp_b, buf_b, mr_b) = sides
+        lid, qpn = node_b.rnic.lid, qp_b.qpn
+        qp_b.post_recv(1, Sge(mr_b, buf_b.addr(0), 4096))
+        qp_a.post_send(0, lid, qpn, b"delivered")
+        qp_a.post_send(0, lid, qpn, b"no buffer posted")
+        cluster.sim.run_until_idle()
+        qp_b.post_recv(2, Sge(mr_b, buf_b.addr(0), 4))
+        qp_a.post_send(0, lid, qpn, b"too big for 4")
+        cluster.sim.run_until_idle()
+        assert qp_a.sends == 3
+        assert (qp_b.receives, qp_b.dropped_no_recv,
+                qp_b.dropped_too_big) == (1, 1, 1)
+
+
 class TestRpc:
     def make_endpoints(self, handler=None, timeout_ns=2_000_000,
                        max_retries=5):
